@@ -1,0 +1,95 @@
+// A2 (ablation) — write wear: where do the algorithms' writes LAND?
+//
+// The AEM cost model prices every write the same (omega); real NVM also
+// has per-cell write endurance, so two algorithms with equal Q_w can age
+// the device very differently.  This ablation histograms writes per block
+// for the library's algorithms: max-writes-per-block is the wear hot spot,
+// mean is the leveled baseline.  Algorithms built from sequential passes
+// (mergesorts) wear evenly (max ~ passes); pointer-maintenance and PQ
+// cascades concentrate writes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "permute/dispatch.hpp"
+#include "permute/permutation.hpp"
+#include "pq/ext_pq.hpp"
+#include "sort/em_mergesort.hpp"
+#include "sort/mergesort.hpp"
+#include "sort/samplesort.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+template <class F>
+void run_case(const char* name, std::size_t N, std::size_t M, std::size_t B,
+              std::uint64_t w, F&& body, util::Table& t, util::Rng& rng) {
+  Machine mach(make_config(M, B, w));
+  mach.enable_wear_tracking();
+  auto keys = util::random_keys(N, rng);
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(keys);
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  mach.reset_stats();
+  body(in, out, rng);
+  const auto ws = mach.wear_stats();
+  t.add_row({name, util::fmt(mach.stats().writes), util::fmt(ws.blocks_written),
+             util::fmt(ws.mean_writes, 2), util::fmt(ws.max_writes),
+             util::fmt_ratio(double(ws.max_writes), ws.mean_writes, 2)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string csv = cli.str("csv", "");
+  util::Rng rng(cli.u64("seed", 12));
+
+  banner("A2 (ablation)",
+         "write-wear profiles: same cost model, very different endurance "
+         "footprints");
+
+  util::Table t({"algorithm", "writes", "blocks_touched", "mean/block",
+                 "max/block", "skew"});
+  const std::size_t N = 1 << 14, M = 256, B = 16;
+  const std::uint64_t w = 8;
+  run_case(
+      "aem_mergesort", N, M, B, w,
+      [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
+      rng);
+  run_case(
+      "em_mergesort", N, M, B, w,
+      [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
+      rng);
+  run_case(
+      "samplesort", N, M, B, w,
+      [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
+      rng);
+  run_case(
+      "heapsort(pq)", N, M, B, w,
+      [](auto& in, auto& out, util::Rng&) { aem_heap_sort(in, out); }, t,
+      rng);
+  run_case(
+      "naive_permute", N, M, B, w,
+      [](auto& in, auto& out, util::Rng& r) {
+        auto dest = perm::random(in.size(), r);
+        naive_permute(in, std::span<const std::uint64_t>(dest), out);
+      },
+      t, rng);
+  run_case(
+      "sort_permute", N, M, B, w,
+      [](auto& in, auto& out, util::Rng& r) {
+        auto dest = perm::random(in.size(), r);
+        sort_permute(in, std::span<const std::uint64_t>(dest), out);
+      },
+      t, rng);
+  emit(t, "Wear profile at N=2^14, M=256, B=16, omega=8:", csv);
+
+  std::cout
+      << "Reading: 'skew' = hottest block vs average.  Pass-structured\n"
+         "algorithms stay near skew ~ passes; the merge's externally stored\n"
+         "b[i] pointer blocks and the PQ's cascade levels are the wear hot\n"
+         "spots a device-level wear leveler would have to absorb.\n";
+  return 0;
+}

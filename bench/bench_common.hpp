@@ -1,0 +1,64 @@
+// Shared scaffolding for the experiment binaries (see DESIGN.md section 3).
+//
+// Every binary prints a header naming the paper claim it reproduces, one or
+// more tables in paper style, and (with --csv=FILE) a machine-readable
+// duplicate.  Default grids are sized to finish in seconds on one core;
+// --full enlarges them.
+#pragma once
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace aem::bench {
+
+inline Config make_config(std::size_t M, std::size_t B, std::uint64_t omega) {
+  Config cfg;
+  cfg.memory_elems = M;
+  cfg.block_elems = B;
+  cfg.write_cost = omega;
+  return cfg;
+}
+
+inline ExtArray<std::uint64_t> staged_keys(Machine& mach, std::size_t n,
+                                           util::Rng& rng,
+                                           const char* name = "in") {
+  ExtArray<std::uint64_t> arr(mach, n, name);
+  arr.unsafe_host_fill(util::random_keys(n, rng));
+  return arr;
+}
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " — " << claim << " ===\n\n";
+}
+
+/// Prints a table and optionally writes it as CSV to `csv_path`.  The first
+/// emit of a run truncates the file; later emits append (several tables per
+/// binary), so re-running a bench replaces its CSV instead of growing it.
+inline void emit(const util::Table& t, const std::string& title,
+                 const std::string& csv_path) {
+  std::cout << title << "\n";
+  t.print(std::cout);
+  std::cout << "\n";
+  if (!csv_path.empty()) {
+    static std::vector<std::string> seen;
+    const bool first =
+        std::find(seen.begin(), seen.end(), csv_path) == seen.end();
+    if (first) seen.push_back(csv_path);
+    std::ofstream os(csv_path, first ? std::ios::trunc : std::ios::app);
+    os << "# " << title << "\n";
+    t.print_csv(os);
+  }
+}
+
+}  // namespace aem::bench

@@ -1,0 +1,133 @@
+// E3 — the sorting-algorithm comparison the paper's Sections 1 and 3 set
+// up: the omega-aware mergesort (Section 3, no omega/B assumption) vs the
+// omega-oblivious Aggarwal-Vitter mergesort vs AEM sample sort [7].
+//
+// The paper predicts the oblivious sort pays a factor
+// ((1+omega)/omega) * log(omega m)/log m over the aware one, growing with
+// omega; and that the Section 3 merge keeps its bound for omega > B where
+// the earlier mergesort's analysis broke down.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bounds/sort_bounds.hpp"
+#include "sort/em_mergesort.hpp"
+#include "sort/mergesort.hpp"
+#include "pq/ext_pq.hpp"
+#include "sort/samplesort.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+struct Costs {
+  std::uint64_t aware = 0, oblivious = 0, sample = 0;
+  std::uint64_t heap = 0;  // 0 = skipped (machine below the PQ's M >= 16B)
+};
+
+Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
+              util::Rng& rng) {
+  auto keys = util::random_keys(N, rng);
+  Costs c{};
+  {
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    aem_merge_sort(in, out);
+    c.aware = mach.cost();
+  }
+  {
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    em_merge_sort(in, out);
+    c.oblivious = mach.cost();
+  }
+  {
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    aem_sample_sort(in, out);
+    c.sample = mach.cost();
+  }
+  if (M >= 16 * B) {  // the external PQ's memory requirement
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    aem_heap_sort(in, out);
+    c.heap = mach.cost();
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string csv = cli.str("csv", "");
+  const bool full = cli.flag("full");
+  util::Rng rng(cli.u64("seed", 3));
+
+  banner("E3",
+         "omega-aware mergesort (Sec. 3) vs omega-oblivious EM mergesort vs "
+         "sample sort [7]");
+
+  {
+    util::Table t({"omega", "aware", "oblivious", "sample", "heap",
+                   "obl/aware", "predicted", "winner"});
+    const std::size_t N = full ? (1 << 17) : (1 << 15);
+    const std::size_t M = 64, B = 8;
+    for (std::uint64_t w : {1, 4, 16, 64, 256, 1024}) {
+      Costs c = run_all(N, M, B, w, rng);
+      bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
+      const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
+                               ? "aware"
+                               : (c.oblivious <= c.sample ? "oblivious"
+                                                          : "sample");
+      t.add_row({util::fmt(w), util::fmt(c.aware), util::fmt(c.oblivious),
+                 util::fmt(c.sample),
+                 c.heap ? util::fmt(c.heap) : std::string("-"),
+                 util::fmt_ratio(double(c.oblivious), double(c.aware), 2),
+                 util::fmt(bounds::predicted_oblivious_penalty(p), 2),
+                 winner});
+    }
+    emit(t, "Sweep omega at N=2^15, M=64, B=8 (small m: deep oblivious "
+            "recursion):", csv);
+  }
+
+  {
+    util::Table t({"omega", "aware", "oblivious", "sample", "heap",
+                   "obl/aware", "predicted", "winner"});
+    const std::size_t N = 1 << 15, M = 256, B = 16;
+    for (std::uint64_t w : {1, 8, 16, 32, 128, 512}) {
+      Costs c = run_all(N, M, B, w, rng);
+      bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
+      const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
+                               ? "aware"
+                               : (c.oblivious <= c.sample ? "oblivious"
+                                                          : "sample");
+      t.add_row({util::fmt(w), util::fmt(c.aware), util::fmt(c.oblivious),
+                 util::fmt(c.sample),
+                 c.heap ? util::fmt(c.heap) : std::string("-"),
+                 util::fmt_ratio(double(c.oblivious), double(c.aware), 2),
+                 util::fmt(bounds::predicted_oblivious_penalty(p), 2),
+                 winner});
+    }
+    emit(t, "Sweep omega across omega = B = 16 (M=256): the aware merge "
+            "needs no omega < B assumption:", csv);
+  }
+
+  std::cout
+      << "PASS criterion: obl/aware grows with omega and tracks the\n"
+         "predicted penalty's trend; the aware sort never loses badly and\n"
+         "wins decisively for omega >> m.\n";
+  return 0;
+}

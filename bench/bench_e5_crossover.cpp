@@ -1,0 +1,119 @@
+// E5 — the min{N, omega n log_{omega m} n} crossover of Theorem 4.5.
+//
+// The bound's two branches trade places as omega (or B) moves: the naive
+// gather wins once omega n log_{omega m} n > N, i.e. roughly once
+// omega log_{omega m} n > B.  We sweep omega at fixed (N, M, B) and B at
+// fixed (N, M, omega), locate the measured crossover, and compare with the
+// point where the predicted curves cross.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "bounds/permute_bounds.hpp"
+#include "permute/dispatch.hpp"
+#include "permute/permutation.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+struct Outcome {
+  std::uint64_t naive_cost, sort_cost;
+};
+
+Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
+                util::Rng& rng) {
+  auto keys = util::random_keys(N, rng);
+  auto dest = perm::random(N, rng);
+  Outcome o{};
+  {
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    naive_permute(in, std::span<const std::uint64_t>(dest), out);
+    o.naive_cost = mach.cost();
+  }
+  {
+    Machine mach(make_config(M, B, w));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    sort_permute(in, std::span<const std::uint64_t>(dest), out);
+    o.sort_cost = mach.cost();
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string csv = cli.str("csv", "");
+  util::Rng rng(cli.u64("seed", 5));
+
+  banner("E5", "Theorem 4.5's min{.,.}: naive/sort-based crossover in omega "
+               "and B");
+
+  std::optional<std::uint64_t> measured_cross, predicted_cross;
+  {
+    util::Table t({"omega", "naive", "sort", "measured_winner",
+                   "naive_pred", "sort_pred", "predicted_winner"});
+    // B = 64 makes element-granular gathering wasteful enough that sorting
+    // wins at small omega; the min{} flips as omega grows.
+    const std::size_t N = 1 << 14, M = 1024, B = 64;
+    std::optional<bool> prev_sort_won, prev_pred_sort;
+    for (std::uint64_t w : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+      Outcome o = measure(N, M, B, w, rng);
+      Machine model(make_config(M, B, w));
+      const double nb = predicted_naive_cost(model, N);
+      const double sb = predicted_sort_cost(model, N);
+      const bool sort_wins = o.sort_cost < o.naive_cost;
+      const bool pred_sort = sb < nb;
+      if (prev_sort_won.has_value() && *prev_sort_won && !sort_wins &&
+          !measured_cross)
+        measured_cross = w;
+      if (prev_pred_sort.has_value() && *prev_pred_sort && !pred_sort &&
+          !predicted_cross)
+        predicted_cross = w;
+      prev_sort_won = sort_wins;
+      prev_pred_sort = pred_sort;
+      t.add_row({util::fmt(w), util::fmt(o.naive_cost), util::fmt(o.sort_cost),
+                 sort_wins ? "sort" : "naive", util::fmt(nb, 0),
+                 util::fmt(sb, 0), pred_sort ? "sort" : "naive"});
+    }
+    emit(t, "Sweep omega (N=2^14, M=1024, B=64):", csv);
+    std::cout << "measured crossover omega  : "
+              << (measured_cross ? util::fmt(*measured_cross) : "none")
+              << "\npredicted crossover omega : "
+              << (predicted_cross ? util::fmt(*predicted_cross) : "none")
+              << "\n\n";
+  }
+
+  {
+    util::Table t({"B", "naive", "sort", "measured_winner", "naive_pred",
+                   "sort_pred", "predicted_winner"});
+    const std::size_t N = 1 << 14;
+    const std::uint64_t w = 16;
+    for (std::size_t B : {8, 16, 32, 64, 128}) {
+      const std::size_t M = 16 * B;  // keep m fixed at 16
+      Outcome o = measure(N, M, B, w, rng);
+      Machine model(make_config(M, B, w));
+      const double nb = predicted_naive_cost(model, N);
+      const double sb = predicted_sort_cost(model, N);
+      t.add_row({util::fmt(std::uint64_t(B)), util::fmt(o.naive_cost),
+                 util::fmt(o.sort_cost),
+                 o.sort_cost < o.naive_cost ? "sort" : "naive",
+                 util::fmt(nb, 0), util::fmt(sb, 0),
+                 sb < nb ? "sort" : "naive"});
+    }
+    emit(t, "Sweep B at m=16, omega=16 (bigger blocks favour sorting):", csv);
+  }
+
+  std::cout << "PASS criterion: measured winners flip exactly once per\n"
+               "sweep, within one grid step of the predicted flip.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E6 — Lemma 4.1 / Corollary 4.2: any AEM program can be rewritten as a
+// round-based program on a 2M machine at a constant-factor cost increase.
+//
+// We record real traces (mergesort, sample sort, both permutation
+// programs), apply the rewrite, and report the measured cost factor — the
+// lemma's constant — plus the round structure of the result.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "permute/naive.hpp"
+#include "permute/permutation.hpp"
+#include "permute/sort_permute.hpp"
+#include "rounds/rounds.hpp"
+#include "sort/em_mergesort.hpp"
+#include "sort/mergesort.hpp"
+#include "sort/samplesort.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+template <class F>
+void run_case(const char* program, std::size_t N, std::size_t M,
+              std::size_t B, std::uint64_t w, F&& body, util::Table& t,
+              util::Rng& rng) {
+  Machine mach(make_config(M, B, w));
+  auto keys = util::random_keys(N, rng);
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(keys);
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  mach.enable_trace();
+  body(in, out, rng);
+  auto trace = mach.take_trace();
+
+  auto rb = rounds::make_round_based(*trace, mach.m(), w);
+  const bool valid = rounds::validate_rounds(rb.trace, rb.rounds, 2 * mach.m(),
+                                             w, /*check_lower=*/false);
+  t.add_row({program, util::fmt(std::uint64_t(N)), util::fmt(w),
+             util::fmt(rb.original_cost), util::fmt(rb.transformed_cost),
+             util::fmt(rb.cost_factor(), 3),
+             util::fmt(std::uint64_t(rb.rounds.size())),
+             valid ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string csv = cli.str("csv", "");
+  util::Rng rng(cli.u64("seed", 6));
+
+  banner("E6", "Lemma 4.1: program -> round-based program on 2M at constant "
+               "factor");
+
+  util::Table t({"program", "N", "omega", "cost_P", "cost_P'", "factor",
+                 "rounds", "valid"});
+  const std::size_t M = 128, B = 8;
+  for (std::uint64_t w : {1, 4, 16, 64}) {
+    run_case(
+        "aem_mergesort", 1 << 13, M, B, w,
+        [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
+        rng);
+    run_case(
+        "em_mergesort", 1 << 13, M, B, w,
+        [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
+        rng);
+    run_case(
+        "samplesort", 1 << 13, M, B, w,
+        [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
+        rng);
+    run_case(
+        "naive_permute", 1 << 13, M, B, w,
+        [](auto& in, auto& out, util::Rng& r) {
+          auto dest = perm::random(in.size(), r);
+          naive_permute(in, std::span<const std::uint64_t>(dest), out);
+        },
+        t, rng);
+    run_case(
+        "sort_permute", 1 << 13, M, B, w,
+        [](auto& in, auto& out, util::Rng& r) {
+          auto dest = perm::random(in.size(), r);
+          sort_permute(in, std::span<const std::uint64_t>(dest), out);
+        },
+        t, rng);
+  }
+  emit(t, "Round-based rewrite across programs and omega (M=128, B=8):", csv);
+
+  std::cout << "PASS criterion: factor <= ~3 everywhere (the Lemma 4.1\n"
+               "constant), valid = yes in every row.\n";
+  return 0;
+}

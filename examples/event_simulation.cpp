@@ -1,0 +1,116 @@
+// Discrete-event simulation on asymmetric memory: a single-server queue
+// whose event calendar is the write-efficient external priority queue.
+//
+//   ./event_simulation [--jobs=20000] [--omega=16]
+//
+// Event calendars are a canonical external-PQ workload: far more events
+// than fit in fast memory, every event inserted once and extracted once,
+// extraction in time order.  On an NVM-backed machine the calendar's WRITE
+// volume is what hurts, so the PQ's one-write-per-element-per-level design
+// is exactly what the paper's cost model rewards.
+//
+// The simulation itself is a standard M/D/1-style queue: jobs arrive at
+// pseudo-random times, each needs fixed service time; the server processes
+// them FIFO.  We verify conservation (every job departs, departures in
+// time order) and report the calendar's I/O cost.
+#include <iostream>
+
+#include "core/machine.hpp"
+#include "pq/ext_pq.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// An event packed into one uint64: time in the high 40 bits, kind (arrival
+// = 0 / departure = 1) in bit 23, job id in the low 23 bits.  Packing keeps
+// the calendar's element type trivially comparable by time.
+constexpr std::uint64_t kKindBit = 1ull << 23;
+
+std::uint64_t make_event(std::uint64_t time, bool departure,
+                         std::uint64_t job) {
+  return (time << 24) | (departure ? kKindBit : 0) | job;
+}
+std::uint64_t event_time(std::uint64_t e) { return e >> 24; }
+bool event_is_departure(std::uint64_t e) { return (e & kKindBit) != 0; }
+std::uint64_t event_job(std::uint64_t e) { return e & (kKindBit - 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aem;
+  util::Cli cli(argc, argv);
+  const std::uint64_t jobs = cli.u64("jobs", 20000);
+  const std::uint64_t omega = cli.u64("omega", 16);
+  const std::uint64_t service = 7;  // fixed service time per job
+
+  Config cfg;
+  cfg.memory_elems = 256;  // a calendar far larger than fast memory
+  cfg.block_elems = 16;
+  cfg.write_cost = omega;
+  Machine mach(cfg);
+
+  ExtPriorityQueue<std::uint64_t> calendar(mach);
+  util::Rng rng(2026);
+
+  // Schedule all arrivals up front (bulk load — typical for trace-driven
+  // simulation).  Arrival times are strictly increasing.
+  std::uint64_t t = 0;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    t += 1 + rng.below(10);
+    calendar.push(make_event(t, false, j));
+  }
+  std::cout << "scheduled " << jobs << " arrivals spanning time 0.." << t
+            << " (calendar overflows memory " << jobs << " >> M = "
+            << mach.M() << ")\n";
+
+  // Run the simulation.
+  std::uint64_t server_free_at = 0;
+  std::uint64_t departed = 0, last_departure = 0, busy_time = 0;
+  std::uint64_t max_queue_delay = 0;
+  while (!calendar.empty()) {
+    const std::uint64_t e = calendar.pop_min();
+    const std::uint64_t now = event_time(e);
+    if (event_is_departure(e)) {
+      ++departed;
+      if (now < last_departure) {
+        std::cerr << "FAIL: departures out of order\n";
+        return 1;
+      }
+      last_departure = now;
+    } else {
+      const std::uint64_t start =
+          now > server_free_at ? now : server_free_at;
+      const std::uint64_t delay = start - now;
+      if (delay > max_queue_delay) max_queue_delay = delay;
+      server_free_at = start + service;
+      busy_time += service;
+      calendar.push(make_event(server_free_at, true, event_job(e)));
+    }
+  }
+
+  if (departed != jobs) {
+    std::cerr << "FAIL: lost jobs (" << departed << "/" << jobs << ")\n";
+    return 1;
+  }
+
+  std::cout << "\nsimulation complete:\n"
+            << "  jobs departed     : " << departed << "\n"
+            << "  makespan          : " << last_departure << "\n"
+            << "  server utilization: "
+            << double(busy_time) / double(last_departure) << "\n"
+            << "  max queueing delay: " << max_queue_delay << "\n";
+
+  const IoStats s = mach.stats();
+  std::cout << "\ncalendar I/O (omega = " << omega << "):\n"
+            << "  reads  : " << s.reads << "\n"
+            << "  writes : " << s.writes << "\n"
+            << "  Q      : " << mach.cost() << "\n"
+            << "  block-writes per event: "
+            << double(s.writes) / double(2 * jobs)
+            << "  (each of the " << 2 * jobs
+            << " events is pushed and popped once;\n"
+            << "   an omega-oblivious in-place heap would rewrite O(log N)\n"
+            << "   blocks per operation instead)\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (E1-E10, A1-A2) and collects CSVs.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-results}"
+FULL_FLAG="${3:-}"
+
+mkdir -p "$OUT_DIR"
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  name="$(basename "$bench")"
+  echo "=== running $name ==="
+  if [[ "$name" == "bench_e10_ablation" ]]; then
+    # google-benchmark binary: no custom flags.
+    "$bench" | tee "$OUT_DIR/$name.txt"
+  else
+    "$bench" --csv="$OUT_DIR/$name.csv" $FULL_FLAG | tee "$OUT_DIR/$name.txt"
+  fi
+  echo
+done
+
+echo "All experiment outputs are in $OUT_DIR/"

@@ -1,0 +1,50 @@
+#include "bounds/counting.hpp"
+
+#include <cmath>
+
+#include "bounds/logmath.hpp"
+
+namespace aem::bounds {
+
+double log2_perms_per_round(const AemParams& p) {
+  const std::uint64_t blocks_read = p.omega * p.M / p.B;  // omega M / B
+  const std::uint64_t atoms_seen = p.omega * p.M;         // omega M
+  const double mb = static_cast<double>(p.M) / static_cast<double>(p.B);
+
+  double lg = 0.0;
+  lg += log2_binomial(p.N, blocks_read);           // choose blocks to read
+  lg += log2_binomial(atoms_seen, p.M);            // choose atoms to keep
+  lg += static_cast<double>(p.M);                  // 2^M keep/discard choices
+  lg += log2_factorial(p.M);                       // orderings of kept atoms
+  lg -= mb * log2_factorial(p.B);                  // /B!^{M/B}
+  lg += mb * log2u(3 * p.N);                       // (3N)^{M/B} placements
+  return lg;
+}
+
+double log2_target_permutations(const AemParams& p) {
+  const double nb = static_cast<double>(p.N) / static_cast<double>(p.B);
+  return log2_factorial(p.N) - nb * log2_factorial(p.B);
+}
+
+std::uint64_t min_rounds_counting(const AemParams& p) {
+  const double per_round = log2_perms_per_round(p);
+  const double target = log2_target_permutations(p);
+  if (target <= 0.0) return 0;
+  if (per_round <= 0.0) return UINT64_MAX;  // no progress possible per round
+  return static_cast<std::uint64_t>(std::ceil(target / per_round));
+}
+
+double counting_cost_bound_round_based(const AemParams& p) {
+  const std::uint64_t r = min_rounds_counting(p);
+  if (r <= 1) return 0.0;
+  const double m1 = static_cast<double>(p.m() > 1 ? p.m() - 1 : 1);
+  return static_cast<double>(r - 1) * static_cast<double>(p.omega) * m1;
+}
+
+double counting_cost_bound_general(const AemParams& p, double lemma41_factor) {
+  AemParams doubled = p;
+  doubled.M = 2 * p.M;
+  return counting_cost_bound_round_based(doubled) / lemma41_factor;
+}
+
+}  // namespace aem::bounds

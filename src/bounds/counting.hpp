@@ -1,0 +1,44 @@
+// The counting lower bound of Section 4.2, made executable.
+//
+// A round-based program (rounds of cost <= omega*m, memory empty between
+// rounds) can multiply the number of reachable permutations by at most the
+// bracketed factor of inequality (1) per round:
+//
+//   P(R) <= [ C(N, omega M / B) * C(omega M, M) * 2^M * M!/B!^{M/B}
+//             * (3N)^{M/B} ]^R
+//
+// and correctness requires P(R) >= N! / B!^{N/B}.  This module computes, in
+// log2 space, the per-round factor, the target, the implied minimal round
+// count R, and the cost bound (R-1) * omega * (m-1) (every round but the
+// last costs at least omega*(m-1)).  Corollary 4.2 transfers the bound to
+// arbitrary programs at half the memory; counting_cost_bound_general applies
+// that transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/permute_bounds.hpp"
+
+namespace aem::bounds {
+
+/// log2 of the per-round multiplicative factor in inequality (1).
+double log2_perms_per_round(const AemParams& p);
+
+/// log2 of the required permutation count N! / B!^{N/B}.
+double log2_target_permutations(const AemParams& p);
+
+/// Minimal number of rounds R with P(R) >= N!/B!^{N/B} under inequality (1).
+std::uint64_t min_rounds_counting(const AemParams& p);
+
+/// Cost lower bound for ROUND-BASED programs with memory M:
+///   (R - 1) * omega * (m - 1).
+double counting_cost_bound_round_based(const AemParams& p);
+
+/// Cost lower bound for ARBITRARY programs with memory M, via Corollary 4.2:
+/// the round-based bound evaluated at memory 2M (a round-based simulation
+/// uses twice the memory, Lemma 4.1), divided by the simulation's constant
+/// factor `lemma41_factor`.
+double counting_cost_bound_general(const AemParams& p,
+                                   double lemma41_factor = 3.0);
+
+}  // namespace aem::bounds

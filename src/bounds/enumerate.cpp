@@ -1,0 +1,226 @@
+#include "bounds/enumerate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace aem::bounds {
+
+namespace {
+
+using Mask = std::uint8_t;   // atom subset (N <= 8)
+using State = std::uint64_t; // L location masks packed, 8 bits each
+
+struct Geometry {
+  std::uint32_t N, M, B, omega, L;
+  std::uint32_t n() const { return (N + B - 1) / B; }
+  std::uint32_t m() const { return (M + B - 1) / B; }
+  std::uint32_t budget() const { return omega * m(); }
+};
+
+Mask get_loc(State s, std::uint32_t loc) {
+  return static_cast<Mask>((s >> (8 * loc)) & 0xFF);
+}
+
+State set_loc(State s, std::uint32_t loc, Mask m) {
+  s &= ~(State{0xFF} << (8 * loc));
+  s |= State{m} << (8 * loc);
+  return s;
+}
+
+int popcount(Mask m) { return __builtin_popcount(m); }
+
+/// All set-partitions of `atoms` into at most `max_groups` groups of at
+/// most B atoms each, generated canonically (each atom joins an existing
+/// group or opens a new one, in atom order).
+void enumerate_partitions(Mask atoms, std::uint32_t max_groups,
+                          std::uint32_t B, std::vector<Mask>& current,
+                          std::vector<std::vector<Mask>>& out) {
+  if (atoms == 0) {
+    out.push_back(current);
+    return;
+  }
+  const int atom = __builtin_ctz(atoms);
+  const Mask rest = static_cast<Mask>(atoms & (atoms - 1));
+  for (std::size_t g = 0; g < current.size(); ++g) {
+    if (popcount(current[g]) >= static_cast<int>(B)) continue;
+    current[g] |= Mask{1} << atom;
+    enumerate_partitions(rest, max_groups, B, current, out);
+    current[g] &= static_cast<Mask>(~(Mask{1} << atom));
+  }
+  if (current.size() < max_groups) {
+    current.push_back(Mask{1} << atom);
+    enumerate_partitions(rest, max_groups, B, current, out);
+    current.pop_back();
+  }
+}
+
+/// Ordered injections of `groups` into the empty locations: every way of
+/// writing the new blocks.  Calls sink(state_with_writes).
+template <class Sink>
+void place_groups(State base, const std::vector<Mask>& groups,
+                  std::size_t next, const std::vector<std::uint32_t>& empties,
+                  std::uint32_t used_mask, const Sink& sink) {
+  if (next == groups.size()) {
+    sink(base);
+    return;
+  }
+  for (std::size_t e = 0; e < empties.size(); ++e) {
+    if (used_mask & (1u << e)) continue;
+    place_groups(set_loc(base, empties[e], groups[next]), groups, next + 1,
+                 empties, used_mask | (1u << e), sink);
+  }
+}
+
+/// The set-wise permutation realized by a configuration, if any: the
+/// occupied locations, taken in ADDRESS order, must partition the atoms in
+/// the output shape (full blocks, partial last).  Address order — rather
+/// than a free per-state choice of output designation — matches a program
+/// committing to where its output lives; the paper's "blocks need not be
+/// adjacent" relaxation is reflected in the locations being arbitrary, not
+/// in their order being free (a free order would make B = 1 permuting
+/// trivially zero-cost, which no model intends).
+void collect_partitions(State s, const Geometry& g,
+                        std::unordered_set<std::uint64_t>& out) {
+  const std::uint32_t k = g.n();
+  const std::uint32_t last = g.N - (k - 1) * g.B;
+  std::vector<std::uint32_t> spots;
+  for (std::uint32_t l = 0; l < g.L; ++l)
+    if (get_loc(s, l) != 0) spots.push_back(l);
+  if (spots.size() != k) return;  // must occupy exactly n blocks
+
+  bool ok = true;
+  std::uint64_t key = 0;
+  for (std::uint32_t i = 0; i < k && ok; ++i) {
+    const Mask m = get_loc(s, spots[i]);
+    const int want =
+        (i + 1 == k) ? static_cast<int>(last) : static_cast<int>(g.B);
+    if (popcount(m) != want) ok = false;
+    key |= std::uint64_t{m} << (8 * i);
+  }
+  if (ok) out.insert(key);
+}
+
+/// All states reachable from `s` in one round.
+template <class Sink>
+void expand(State s, const Geometry& g, const Sink& sink) {
+  std::vector<std::uint32_t> nonempty;
+  for (std::uint32_t l = 0; l < g.L; ++l)
+    if (get_loc(s, l) != 0) nonempty.push_back(l);
+
+  const std::uint32_t budget = g.budget();
+  // Choose the set of blocks to read: all subsets of nonempty locations of
+  // size r with r <= budget and room for at least one write.
+  const std::uint32_t max_r =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(nonempty.size()),
+                              budget >= g.omega ? budget - g.omega : 0);
+  for (std::uint32_t subset = 1; subset < (1u << nonempty.size()); ++subset) {
+    const std::uint32_t r = static_cast<std::uint32_t>(
+        __builtin_popcount(subset));
+    if (r > max_r) continue;
+    const std::uint32_t w_max = (budget - r) / g.omega;
+    if (w_max == 0) continue;
+
+    Mask atoms = 0;
+    State removed = s;
+    for (std::size_t i = 0; i < nonempty.size(); ++i) {
+      if (subset & (1u << i)) atoms |= get_loc(s, nonempty[i]);
+    }
+
+    // Choose which of the read atoms to move (<= M), remove them, and
+    // write them back as up to w_max fresh blocks into empty locations.
+    for (Mask keep = atoms; keep != 0;
+         keep = static_cast<Mask>((keep - 1) & atoms)) {
+      if (popcount(keep) > static_cast<int>(g.M)) continue;
+      State base = removed;
+      for (std::size_t i = 0; i < nonempty.size(); ++i) {
+        if (subset & (1u << i)) {
+          const Mask old = get_loc(s, nonempty[i]);
+          base = set_loc(base, nonempty[i], static_cast<Mask>(old & ~keep));
+        }
+      }
+      std::vector<std::uint32_t> empties;
+      for (std::uint32_t l = 0; l < g.L; ++l)
+        if (get_loc(base, l) == 0) empties.push_back(l);
+
+      std::vector<Mask> current;
+      std::vector<std::vector<Mask>> partitions;
+      enumerate_partitions(keep, std::min<std::uint32_t>(
+                                     w_max, static_cast<std::uint32_t>(
+                                                empties.size())),
+                           g.B, current, partitions);
+      for (const auto& groups : partitions)
+        place_groups(base, groups, 0, empties, 0, sink);
+    }
+  }
+}
+
+std::uint64_t factorial(std::uint64_t n) {
+  std::uint64_t f = 1;
+  for (std::uint64_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+}  // namespace
+
+EnumResult enumerate_reachable_permutations(const EnumParams& p) {
+  if (p.N == 0 || p.N > 8)
+    throw std::invalid_argument("enumerate: N must be in [1, 8]");
+  if (p.B == 0 || p.B > p.N || p.M < p.B)
+    throw std::invalid_argument("enumerate: need 1 <= B <= N and M >= B");
+
+  Geometry g;
+  g.N = p.N;
+  g.M = p.M;
+  g.B = p.B;
+  g.omega = p.omega == 0 ? 1 : p.omega;
+  g.L = p.locations != 0 ? p.locations : g.n() + g.m() + 1;
+  if (g.L > 8 || g.L < g.n())
+    throw std::invalid_argument("enumerate: locations must be in [n, 8]");
+
+  // Initial configuration: atoms 0..N-1 in blocks of B at locations 0..n-1.
+  State init = 0;
+  for (std::uint32_t i = 0; i < g.N; ++i) {
+    const std::uint32_t loc = i / g.B;
+    init = set_loc(init, loc,
+                   static_cast<Mask>(get_loc(init, loc) | (Mask{1} << i)));
+  }
+
+  EnumResult result;
+  const std::uint32_t full = g.N / g.B;
+  const std::uint32_t rem = g.N % g.B;
+  result.target = factorial(g.N);
+  for (std::uint32_t i = 0; i < full; ++i) result.target /= factorial(g.B);
+  result.target /= factorial(rem);
+
+  std::unordered_set<State> visited{init};
+  std::vector<State> frontier{init};
+  std::unordered_set<std::uint64_t> perms;
+  collect_partitions(init, g, perms);
+  result.reachable.push_back(perms.size());
+  if (perms.size() == result.target) result.rounds_to_complete = 0;
+
+  for (std::uint32_t round = 1;
+       round <= p.max_rounds && !result.rounds_to_complete; ++round) {
+    std::vector<State> next;
+    for (State s : frontier) {
+      expand(s, g, [&](State t) {
+        if (visited.insert(t).second) {
+          next.push_back(t);
+          collect_partitions(t, g, perms);
+        }
+      });
+    }
+    result.reachable.push_back(perms.size());
+    if (perms.size() >= result.target) result.rounds_to_complete = round;
+    if (next.empty()) break;  // fixpoint
+    frontier = std::move(next);
+  }
+  result.states_explored = visited.size();
+  return result;
+}
+
+}  // namespace aem::bounds

@@ -1,0 +1,58 @@
+// Mechanized validation of the Section 4.2 counting argument at toy scale.
+//
+// The counting proof models a round-based permutation program as: per
+// round, read up to omega*m blocks (cost r + omega*w <= omega*m), keep up
+// to M atoms in memory (removing them from their blocks — atoms are
+// indivisible and never duplicated), and write them back as up to m new
+// blocks into empty locations; within-block order is normalized away.
+//
+// For machines tiny enough to enumerate (N <= ~6 atoms, a handful of block
+// locations), this module performs EXHAUSTIVE breadth-first search over
+// exactly that transition system and reports, per round count R, the number
+// of distinct set-wise output permutations (ordered partitions of the atoms
+// into output blocks) genuinely reachable.  Two facts can then be checked
+// against ground truth rather than against proofs:
+//
+//   (1) reachable(R) <= P(R), the per-round product of inequality (1) —
+//       i.e. the paper's upper bound on per-round progress really is an
+//       upper bound;
+//   (2) min_rounds_counting(params) <= R*, the true minimal round count
+//       that reaches ALL N!/B!^{N/B} set-wise permutations — i.e. the
+//       derived LOWER bound never exceeds the true optimum.
+//
+// The search is deliberately slightly MORE permissive than a real program
+// (no minimum round cost, free choice of write locations among all empty
+// slots), which only makes check (2) stronger.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aem::bounds {
+
+struct EnumParams {
+  std::uint32_t N = 4;      // atoms (<= 8)
+  std::uint32_t M = 4;      // memory capacity in atoms
+  std::uint32_t B = 2;      // block capacity in atoms
+  std::uint32_t omega = 1;  // write/read cost ratio
+  std::uint32_t locations = 0;  // block locations; 0 = auto (n + m + 1)
+  std::uint32_t max_rounds = 16;
+};
+
+struct EnumResult {
+  /// reachable[r] = distinct set-wise permutations achievable within r
+  /// rounds (cumulative; reachable[0] counts the initial configuration's).
+  std::vector<std::uint64_t> reachable;
+  /// N! / (B!^floor(N/B) * (N mod B)!) — the set-wise permutation count.
+  std::uint64_t target = 0;
+  /// Minimal R with reachable[R] == target, if reached within max_rounds.
+  std::optional<std::uint32_t> rounds_to_complete;
+  std::uint64_t states_explored = 0;
+};
+
+/// Exhaustive BFS (see header comment).  Throws std::invalid_argument for
+/// parameters outside the enumerable regime (N > 8, locations > 8).
+EnumResult enumerate_reachable_permutations(const EnumParams& p);
+
+}  // namespace aem::bounds

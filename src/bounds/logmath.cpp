@@ -1,0 +1,32 @@
+#include "bounds/logmath.hpp"
+
+#include <cmath>
+
+namespace aem::bounds {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+double log2_factorial(std::uint64_t n) {
+  if (n <= 1) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) / kLn2;
+}
+
+double log2_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k == 0 || k >= n) return 0.0;
+  return log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k);
+}
+
+double log2u(std::uint64_t x) {
+  if (x <= 1) return 0.0;
+  return std::log2(static_cast<double>(x));
+}
+
+double log_base(double x, double base, double floor_value) {
+  if (x <= 1.0 || base <= 1.0) return floor_value;
+  const double v = std::log2(x) / std::log2(base);
+  return v < floor_value ? floor_value : v;
+}
+
+}  // namespace aem::bounds

@@ -1,0 +1,28 @@
+// Log-space combinatorics for the counting lower bounds.
+//
+// The counting argument of Section 4.2 compares N!/B!^{N/B} against the
+// per-round permutation count of inequality (1).  Both sides overflow any
+// fixed-width integer almost immediately, so all quantities here live in
+// log2 space, computed via lgamma (exact enough: the bounds are asymptotic
+// and the quantities compared differ by factors, not ulps).
+#pragma once
+
+#include <cstdint>
+
+namespace aem::bounds {
+
+/// log2(n!) via lgamma.  log2_factorial(0) == 0.
+double log2_factorial(std::uint64_t n);
+
+/// log2(C(n, k)); 0 if k > n or k == 0 edge cases consistent with C(n,0)=1.
+double log2_binomial(std::uint64_t n, std::uint64_t k);
+
+/// log2(x) for x >= 1 (returns 0 for x in {0,1}).
+double log2u(std::uint64_t x);
+
+/// log base `base` of x, clamped below by `floor_value` (default 1).
+/// The EM-literature convention: a "log_{omega m} n" factor in a bound means
+/// at least one pass, so callers clamp at 1.
+double log_base(double x, double base, double floor_value = 1.0);
+
+}  // namespace aem::bounds

@@ -1,0 +1,62 @@
+#include "bounds/permute_bounds.hpp"
+
+#include <algorithm>
+
+#include "bounds/logmath.hpp"
+
+namespace aem::bounds {
+
+double permute_bound_naive_branch(const AemParams& p) {
+  return static_cast<double>(p.N);
+}
+
+double permute_bound_sort_branch(const AemParams& p) {
+  const double n = static_cast<double>(p.n());
+  const double base = static_cast<double>(p.omega) * static_cast<double>(p.m());
+  const double levels = log_base(n, base);
+  return static_cast<double>(p.omega) * n * levels;
+}
+
+double permute_lower_bound(const AemParams& p) {
+  return std::min(permute_bound_naive_branch(p), permute_bound_sort_branch(p));
+}
+
+bool permute_bound_applicable(const AemParams& p) {
+  return p.omega * p.B <= p.N;
+}
+
+double permute_lower_bound_total(const AemParams& p) {
+  const double output = static_cast<double>(p.omega) *
+                        static_cast<double>(p.n());
+  return std::max(permute_lower_bound(p), output);
+}
+
+double permute_naive_upper_bound(const AemParams& p) {
+  return static_cast<double>(p.N) +
+         static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+double permute_sort_upper_bound(const AemParams& p) {
+  // Sorting N (destination, value) records — a record is one atom in the
+  // model — plus the tagging and stripping scans.
+  return permute_bound_sort_branch(p) +
+         3.0 * static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+double permute_lower_bound_via_flash(const AemParams& p) {
+  const double base = permute_lower_bound(p);
+  const double scan = 2.0 * static_cast<double>(p.omega) *
+                      static_cast<double>(p.n());
+  const double v = base - scan;
+  return v > 0.0 ? v : 0.0;
+}
+
+double av_permute_bound_ios(std::uint64_t N, std::uint64_t M, std::uint64_t b) {
+  if (b == 0) b = 1;
+  const double blocks = static_cast<double>((N + b - 1) / b);
+  const double mem_blocks = static_cast<double>(M) / static_cast<double>(b);
+  const double sort_branch = blocks * log_base(blocks, mem_blocks);
+  return std::min(static_cast<double>(N), sort_branch);
+}
+
+}  // namespace aem::bounds

@@ -1,0 +1,66 @@
+#include "bounds/sort_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/logmath.hpp"
+
+namespace aem::bounds {
+
+namespace {
+
+double levels_omega_m(const AemParams& p) {
+  const double n = static_cast<double>(p.n());
+  const double base = static_cast<double>(p.omega) * static_cast<double>(p.m());
+  return log_base(n, base);
+}
+
+double levels_m(const AemParams& p) {
+  const double n = static_cast<double>(p.n());
+  return log_base(n, static_cast<double>(p.m()));
+}
+
+}  // namespace
+
+double aem_sort_upper_bound(const AemParams& p) {
+  return static_cast<double>(p.omega) * static_cast<double>(p.n()) *
+         levels_omega_m(p);
+}
+
+double aem_sort_read_bound(const AemParams& p) { return aem_sort_upper_bound(p); }
+
+double aem_sort_write_bound(const AemParams& p) {
+  return static_cast<double>(p.n()) * levels_omega_m(p);
+}
+
+double aem_merge_read_bound(const AemParams& p) {
+  return static_cast<double>(p.omega) *
+         (static_cast<double>(p.n()) + static_cast<double>(p.m()));
+}
+
+double aem_merge_write_bound(const AemParams& p) {
+  return static_cast<double>(p.n()) + static_cast<double>(p.m());
+}
+
+double small_sort_read_bound(const AemParams& p) {
+  return static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+double small_sort_write_bound(const AemParams& p) {
+  return static_cast<double>(p.n());
+}
+
+double em_sort_cost_on_aem(const AemParams& p) {
+  const double passes = levels_m(p);
+  const double n = static_cast<double>(p.n());
+  return (1.0 + static_cast<double>(p.omega)) * n * passes;
+}
+
+double sort_lower_bound(const AemParams& p) { return permute_lower_bound(p); }
+
+double predicted_oblivious_penalty(const AemParams& p) {
+  const double w = static_cast<double>(p.omega);
+  return ((1.0 + w) / w) * (levels_m(p) / levels_omega_m(p));
+}
+
+}  // namespace aem::bounds

@@ -1,0 +1,42 @@
+// Sorting cost bounds in the (M,B,omega)-AEM model (Sections 1 and 3).
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/permute_bounds.hpp"
+
+namespace aem::bounds {
+
+/// Section 3's AEM mergesort cost: O(omega * n * log_{omega m} n).
+/// Returned with constant 1 and the log clamped at 1 (one pass minimum).
+double aem_sort_upper_bound(const AemParams& p);
+
+/// The separate read/write targets of Section 3:
+/// reads = O(omega n log_{omega m} n), writes = O(n log_{omega m} n).
+double aem_sort_read_bound(const AemParams& p);
+double aem_sort_write_bound(const AemParams& p);
+
+/// Theorem 3.2's merge of d = omega*m runs containing N elements total:
+/// O(omega (n + m)) reads and O(n + m) writes.
+double aem_merge_read_bound(const AemParams& p);
+double aem_merge_write_bound(const AemParams& p);
+
+/// Blelloch et al. [7, Lemma 4.2] base case: sorting N' <= omega*M elements
+/// costs O(omega n') reads and O(n') writes.
+double small_sort_read_bound(const AemParams& p);
+double small_sort_write_bound(const AemParams& p);
+
+/// The omega-oblivious EM mergesort (Aggarwal-Vitter) run on the AEM:
+/// n log_m n reads AND n log_m n writes, so Q = (1 + omega) n log_m n.
+double em_sort_cost_on_aem(const AemParams& p);
+
+/// Sorting lower bound (same as permuting, Theorem 4.5, since sorting must
+/// realize arbitrary permutations): min{N, omega n log_{omega m} n}.
+double sort_lower_bound(const AemParams& p);
+
+/// The predicted advantage of the omega-aware mergesort over the oblivious
+/// one: ((1+omega)/omega) * log(omega m)/log(m), the factor by which
+/// em_sort_cost_on_aem exceeds aem_sort_upper_bound.
+double predicted_oblivious_penalty(const AemParams& p);
+
+}  // namespace aem::bounds

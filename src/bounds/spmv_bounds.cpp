@@ -1,0 +1,88 @@
+#include "bounds/spmv_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/logmath.hpp"
+
+namespace aem::bounds {
+
+namespace {
+constexpr double kE = 2.718281828459045;
+}
+
+double log2_tau(std::uint64_t N, std::uint64_t delta, std::uint64_t B) {
+  const double dn = static_cast<double>(delta) * static_cast<double>(N);
+  if (B < delta) return dn * std::log2(3.0);
+  if (B == delta) return 0.0;
+  const double ratio = 2.0 * kE * static_cast<double>(B) /
+                       static_cast<double>(delta);
+  return dn * std::log2(ratio);
+}
+
+double spmv_bound_naive_branch(const SpmvParams& p) {
+  return static_cast<double>(p.H());
+}
+
+double spmv_bound_sort_branch(const SpmvParams& p) {
+  const double h = static_cast<double>(p.h());
+  const double base = static_cast<double>(p.omega) * static_cast<double>(p.m());
+  const double arg = static_cast<double>(p.N) /
+                     static_cast<double>(std::max(p.delta, p.B));
+  return static_cast<double>(p.omega) * h * log_base(arg, base);
+}
+
+double spmv_lower_bound(const SpmvParams& p) {
+  return std::min(spmv_bound_naive_branch(p), spmv_bound_sort_branch(p));
+}
+
+bool spmv_bound_applicable(const SpmvParams& p, double eps) {
+  if (p.B <= 2 || p.M <= 4 * p.B) return false;
+  const double lhs = static_cast<double>(p.omega) *
+                     static_cast<double>(p.delta) * static_cast<double>(p.M) *
+                     static_cast<double>(p.B);
+  const double rhs = std::pow(static_cast<double>(p.N), 1.0 - eps);
+  return lhs <= rhs;
+}
+
+double spmv_lower_bound_total(const SpmvParams& p) {
+  const double output = static_cast<double>(p.omega) *
+                        static_cast<double>(p.n());
+  return std::max(spmv_lower_bound(p), output);
+}
+
+double spmv_naive_upper_bound(const SpmvParams& p) {
+  return static_cast<double>(p.H()) +
+         static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+double spmv_sort_upper_bound(const SpmvParams& p) {
+  return spmv_bound_sort_branch(p) +
+         static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+double spmv_upper_bound(const SpmvParams& p) {
+  return std::min(spmv_naive_upper_bound(p), spmv_sort_upper_bound(p));
+}
+
+double spmv_counting_cost_bound(const SpmvParams& p) {
+  const double N = static_cast<double>(p.N);
+  const double B = static_cast<double>(p.B);
+  const double M = static_cast<double>(p.M);
+  const double w = static_cast<double>(p.omega);
+  const double delta = static_cast<double>(p.delta);
+
+  const double denom_inner = std::max(3.0 * delta, 2.0 * kE * B);
+  const double arg = (N / denom_inner) * (B / (kE * w * M));
+  if (arg <= 1.0) return 0.0;
+  const double numerator = delta * N * std::log2(arg);
+
+  const double lgH = log2u(p.H());
+  const double denominator = 2.0 * lgH +
+                             (B / w) * std::log2(kE * w * M / B) +
+                             (B / (w * M)) * lgH;
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace aem::bounds

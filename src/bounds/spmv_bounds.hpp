@@ -1,0 +1,67 @@
+// Sparse-matrix dense-vector multiplication bounds (Section 5).
+//
+// The matrix is N x N with exactly delta non-zero entries per column
+// (H = delta * N total), stored in column-major order.  h = ceil(H/B).
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/permute_bounds.hpp"
+
+namespace aem::bounds {
+
+struct SpmvParams {
+  std::uint64_t N = 0;      // matrix dimension
+  std::uint64_t delta = 1;  // non-zeros per column
+  std::uint64_t M = 0;
+  std::uint64_t B = 0;
+  std::uint64_t omega = 1;
+
+  std::uint64_t H() const { return delta * N; }
+  std::uint64_t h() const { return (H() + B - 1) / B; }
+  std::uint64_t n() const { return (N + B - 1) / B; }
+  std::uint64_t m() const { return (M + B - 1) / B; }
+};
+
+/// The paper's tau(N, delta, B): the correction for orderings within input
+/// blocks (definition from Bender et al. [5]):
+///   tau = 3^{delta N}           if B <  delta
+///   tau = 1                     if B == delta
+///   tau = (2eB/delta)^{delta N} if B >  delta
+/// Returned as log2(tau).
+double log2_tau(std::uint64_t N, std::uint64_t delta, std::uint64_t B);
+
+/// Theorem 5.1 lower bound:
+///   Omega( min{ H, omega h log_{omega m} (N / max{delta, B}) } ).
+double spmv_lower_bound(const SpmvParams& p);
+
+/// The two branches separately.
+double spmv_bound_naive_branch(const SpmvParams& p);  // H
+double spmv_bound_sort_branch(const SpmvParams& p);   // omega h log_{omega m}(N/max{delta,B})
+
+/// Theorem 5.1 preconditions: B > 2, M > 4B, omega*delta*M*B <= N^{1-eps}.
+bool spmv_bound_applicable(const SpmvParams& p, double eps = 0.05);
+
+/// Theorem 5.1's bound strengthened by the trivial output bound: writing
+/// the dense result vector costs omega * n.
+///   max( min{H, omega h log_{omega m}(N/max{delta,B})},  omega * n ).
+double spmv_lower_bound_total(const SpmvParams& p);
+
+/// Upper bound of the direct (naive) program: O(H + omega n).
+double spmv_naive_upper_bound(const SpmvParams& p);
+
+/// Upper bound of the sorting-based algorithm:
+///   O( omega h log_{omega m} (N / max{delta, B}) + omega n ).
+double spmv_sort_upper_bound(const SpmvParams& p);
+
+/// The min of the two upper bounds (the paper's stated upper bound).
+double spmv_upper_bound(const SpmvParams& p);
+
+/// The exact round-counting lower bound from the Theorem 5.1 proof,
+/// evaluated numerically (the displayed inequality before case analysis):
+///   Q >= delta N log2(N/max{3 delta, 2eB} * B/(e omega M))
+///        / (2 log2 H + (B/omega) log2(e omega M / B) + (B/(omega M)) log2 H)
+/// Clamped at 0 when the numerator's log goes negative (bound degenerates).
+double spmv_counting_cost_bound(const SpmvParams& p);
+
+}  // namespace aem::bounds

@@ -1,0 +1,179 @@
+// Typed external-memory arrays and internal-memory buffers.
+//
+// ExtArray<T> owns a region of external memory holding `size()` elements in
+// blocks of B.  All access is by whole-block reads and writes, each charged
+// to the owning Machine.  Host code can never touch the stored elements
+// except through these charged transfers — that discipline is what makes the
+// machine's counters a faithful implementation of the AEM cost measure.
+//
+// Buffer<T> is the internal-memory counterpart: an RAII allocation
+// registered with the machine's MemoryLedger, so the ledger's high-water
+// mark bounds the algorithm's true internal-memory footprint.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace aem {
+
+/// Result of a block transfer: element count plus the trace ticket (invalid
+/// when tracing is off).  The ticket lets atom-tracking algorithms annotate
+/// the recorded op (Lemma 4.3 needs per-read use-sets).
+struct BlockIo {
+  std::size_t count = 0;
+  IoTicket ticket;
+};
+
+template <class T>
+class ExtArray {
+ public:
+  /// An empty, machine-less array (useful as a moved-from placeholder).
+  ExtArray() = default;
+
+  /// Allocates external storage for `elems` elements.  Allocation itself is
+  /// free in the model (external memory is unbounded); only transfers cost.
+  ExtArray(Machine& mach, std::size_t elems, std::string name)
+      : mach_(&mach),
+        id_(mach.register_array(std::move(name))),
+        data_(elems) {}
+
+  ExtArray(ExtArray&&) noexcept = default;
+  ExtArray& operator=(ExtArray&&) noexcept = default;
+  ExtArray(const ExtArray&) = delete;
+  ExtArray& operator=(const ExtArray&) = delete;
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t blocks() const {
+    return mach_ == nullptr ? 0 : mach_->n_of(data_.size());
+  }
+  std::uint32_t id() const { return id_; }
+  Machine& machine() const {
+    assert(mach_ != nullptr);
+    return *mach_;
+  }
+
+  /// Number of elements in block `bi` (the last block may be partial).
+  std::size_t block_elems(std::uint64_t bi) const {
+    check_block(bi);
+    const std::size_t B = mach_->B();
+    const std::size_t begin = static_cast<std::size_t>(bi) * B;
+    return std::min(B, data_.size() - begin);
+  }
+
+  /// Reads block `bi` into `dst` (which must hold >= block_elems(bi)
+  /// elements).  Charges one read I/O.
+  BlockIo read_block(std::uint64_t bi, std::span<T> dst) const {
+    const std::size_t count = block_elems(bi);
+    if (dst.size() < count)
+      throw std::invalid_argument("read_block: destination too small");
+    const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
+    for (std::size_t i = 0; i < count; ++i) dst[i] = data_[begin + i];
+    IoTicket t = mach_->on_read(id_, bi);
+    return BlockIo{count, t};
+  }
+
+  /// Overwrites block `bi` with `src` (which must hold exactly
+  /// block_elems(bi) elements).  Charges one write I/O (cost omega).
+  BlockIo write_block(std::uint64_t bi, std::span<const T> src) {
+    const std::size_t count = block_elems(bi);
+    if (src.size() != count)
+      throw std::invalid_argument("write_block: source size mismatch");
+    const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
+    for (std::size_t i = 0; i < count; ++i) data_[begin + i] = src[i];
+    IoTicket t = mach_->on_write(id_, bi);
+    if (t.valid() && atom_of_) {
+      std::vector<std::uint64_t> atoms(count);
+      for (std::size_t i = 0; i < count; ++i) atoms[i] = atom_of_(src[i]);
+      mach_->trace()->set_atoms(t, std::move(atoms));
+    }
+    return BlockIo{count, t};
+  }
+
+  /// Grows the array to `elems` elements (new space default-initialized).
+  /// Free in the model: this only reserves external address space.
+  void grow_to(std::size_t elems) {
+    if (elems > data_.size()) data_.resize(elems);
+  }
+
+  /// Registers an atom-id extractor used to annotate traced writes
+  /// (Lemma 4.3 machinery).  Pass nullptr to disable.
+  void set_atom_extractor(std::function<std::uint64_t(const T&)> fn) {
+    atom_of_ = std::move(fn);
+  }
+
+  bool has_atom_extractor() const { return static_cast<bool>(atom_of_); }
+  const std::function<std::uint64_t(const T&)>& atom_extractor() const {
+    return atom_of_;
+  }
+  /// Atom id of a value under this array's extractor (which must be set).
+  std::uint64_t atom_id(const T& v) const { return atom_of_(v); }
+
+  /// Debug/verification access to the raw contents.  NOT charged — only for
+  /// test assertions and host-side conformation metadata, never inside a
+  /// measured algorithm.
+  const std::vector<T>& unsafe_host_view() const { return data_; }
+
+  /// Uncharged bulk initialization, used to stage problem inputs before a
+  /// measured run begins (the input's presence in external memory is the
+  /// problem statement, not part of the algorithm's cost).
+  void unsafe_host_fill(std::span<const T> src) {
+    if (src.size() != data_.size())
+      throw std::invalid_argument("unsafe_host_fill: size mismatch");
+    for (std::size_t i = 0; i < src.size(); ++i) data_[i] = src[i];
+  }
+
+ private:
+  void check_block(std::uint64_t bi) const {
+    if (mach_ == nullptr) throw std::logic_error("empty ExtArray");
+    if (bi >= blocks()) throw std::out_of_range("block index out of range");
+  }
+
+  Machine* mach_ = nullptr;
+  std::uint32_t id_ = 0;
+  std::vector<T> data_;
+  std::function<std::uint64_t(const T&)> atom_of_;
+};
+
+/// An internal-memory allocation of `elems` elements, registered with the
+/// machine's ledger for the buffer's lifetime.
+template <class T>
+class Buffer {
+ public:
+  Buffer() = default;
+
+  Buffer(Machine& mach, std::size_t elems)
+      : reservation_(mach.ledger(), elems), data_(elems) {}
+
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  std::size_t size() const { return data_.size(); }
+  std::span<T> span() { return std::span<T>(data_); }
+  std::span<const T> span() const { return std::span<const T>(data_); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Resizes the buffer, adjusting the ledger registration.
+  void resize(std::size_t elems) {
+    reservation_.resize(elems);
+    data_.resize(elems);
+  }
+
+ private:
+  MemoryReservation reservation_;
+  std::vector<T> data_;
+};
+
+}  // namespace aem

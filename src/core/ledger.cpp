@@ -1,0 +1,15 @@
+#include "core/ledger.hpp"
+
+namespace aem {
+
+CapacityError::CapacityError(std::size_t requested, std::size_t used,
+                             std::size_t capacity)
+    : std::runtime_error("internal memory capacity exceeded: requested " +
+                         std::to_string(requested) + " elements with " +
+                         std::to_string(used) + "/" + std::to_string(capacity) +
+                         " already resident"),
+      requested_(requested),
+      used_(used),
+      capacity_(capacity) {}
+
+}  // namespace aem

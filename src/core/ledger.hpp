@@ -1,0 +1,124 @@
+// Internal-memory accounting.
+//
+// Every internal-memory residency in aemlib flows through a MemoryLedger:
+// algorithms hold buffers only via RAII MemoryReservation objects, so the
+// ledger's high-water mark is a sound upper bound on the number of elements
+// an algorithm ever keeps in internal memory.  Tests run machines in strict
+// mode, where exceeding the capacity throws, turning a memory-budget bug in
+// an algorithm into a hard failure instead of a silently wrong cost claim.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace aem {
+
+/// Thrown in strict mode when an acquisition would exceed the capacity M.
+class CapacityError : public std::runtime_error {
+ public:
+  CapacityError(std::size_t requested, std::size_t used, std::size_t capacity);
+
+  std::size_t requested() const { return requested_; }
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t used_;
+  std::size_t capacity_;
+};
+
+class MemoryLedger {
+ public:
+  MemoryLedger(std::size_t capacity_elems, bool strict)
+      : capacity_(capacity_elems), strict_(strict) {}
+
+  /// Registers `elems` additional resident elements.  In strict mode throws
+  /// CapacityError if the capacity would be exceeded; otherwise the
+  /// high-water mark still records the overshoot.
+  void acquire(std::size_t elems) {
+    if (strict_ && used_ + elems > capacity_)
+      throw CapacityError(elems, used_, capacity_);
+    used_ += elems;
+    if (used_ > high_water_) high_water_ = used_;
+  }
+
+  /// Releases previously acquired elements.  Releasing more than acquired is
+  /// a programming error; clamped defensively.
+  void release(std::size_t elems) noexcept {
+    used_ = elems > used_ ? 0 : used_ - elems;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t high_water() const { return high_water_; }
+  bool strict() const { return strict_; }
+
+  void reset_high_water() { high_water_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  bool strict_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// RAII registration of `elems` resident elements with a ledger.
+/// Move-only; the destructor releases.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+
+  MemoryReservation(MemoryLedger& ledger, std::size_t elems)
+      : ledger_(&ledger), elems_(elems) {
+    ledger_->acquire(elems_);
+  }
+
+  MemoryReservation(MemoryReservation&& o) noexcept
+      : ledger_(o.ledger_), elems_(o.elems_) {
+    o.ledger_ = nullptr;
+    o.elems_ = 0;
+  }
+
+  MemoryReservation& operator=(MemoryReservation&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ledger_ = o.ledger_;
+      elems_ = o.elems_;
+      o.ledger_ = nullptr;
+      o.elems_ = 0;
+    }
+    return *this;
+  }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  ~MemoryReservation() { reset(); }
+
+  /// Changes the reservation size (acquire/release the delta).
+  void resize(std::size_t elems) {
+    if (ledger_ == nullptr) return;
+    if (elems > elems_) {
+      ledger_->acquire(elems - elems_);
+    } else {
+      ledger_->release(elems_ - elems);
+    }
+    elems_ = elems;
+  }
+
+  void reset() noexcept {
+    if (ledger_ != nullptr) ledger_->release(elems_);
+    ledger_ = nullptr;
+    elems_ = 0;
+  }
+
+  std::size_t elems() const { return elems_; }
+
+ private:
+  MemoryLedger* ledger_ = nullptr;
+  std::size_t elems_ = 0;
+};
+
+}  // namespace aem

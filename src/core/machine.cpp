@@ -1,0 +1,87 @@
+#include "core/machine.hpp"
+
+#include <stdexcept>
+
+namespace aem {
+
+Machine::Machine(Config cfg)
+    : cfg_(cfg), ledger_(cfg.capacity(), cfg.strict) {
+  cfg_.validate();
+}
+
+void Machine::reset_stats() {
+  stats_ = IoStats{};
+  phases_.clear();
+  ledger_.reset_high_water();
+  if (wear_) wear_->clear();
+}
+
+Machine::PhaseScope::PhaseScope(Machine& mach, std::string name) : mach_(mach) {
+  mach_.phase_stack_.push_back(std::move(name));
+}
+
+Machine::PhaseScope::~PhaseScope() { mach_.phase_stack_.pop_back(); }
+
+void Machine::enable_trace() { trace_ = std::make_unique<Trace>(); }
+
+void Machine::disable_trace() { trace_.reset(); }
+
+std::unique_ptr<Trace> Machine::take_trace() { return std::move(trace_); }
+
+std::uint32_t Machine::register_array(std::string name) {
+  arrays_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(arrays_.size() - 1);
+}
+
+const std::string& Machine::array_name(std::uint32_t id) const {
+  if (id >= arrays_.size()) throw std::out_of_range("unknown array id");
+  return arrays_[id];
+}
+
+void Machine::attribute(bool is_write) {
+  // Hierarchical attribution: an I/O counts toward every phase on the
+  // stack (each name at most once), so outer phases subsume inner ones.
+  for (std::size_t i = 0; i < phase_stack_.size(); ++i) {
+    bool repeated = false;
+    for (std::size_t j = 0; j < i; ++j)
+      repeated |= (phase_stack_[j] == phase_stack_[i]);
+    if (repeated) continue;
+    IoStats& s = phases_[phase_stack_[i]];
+    if (is_write) {
+      ++s.writes;
+    } else {
+      ++s.reads;
+    }
+  }
+}
+
+IoTicket Machine::on_read(std::uint32_t array, std::uint64_t block) {
+  ++stats_.reads;
+  attribute(/*is_write=*/false);
+  if (trace_) return trace_->add(OpKind::kRead, array, block);
+  return IoTicket{};
+}
+
+IoTicket Machine::on_write(std::uint32_t array, std::uint64_t block) {
+  ++stats_.writes;
+  attribute(/*is_write=*/true);
+  if (wear_) ++(*wear_)[{array, block}];
+  if (trace_) return trace_->add(OpKind::kWrite, array, block);
+  return IoTicket{};
+}
+
+Machine::WearStats Machine::wear_stats() const {
+  WearStats ws;
+  if (!wear_ || wear_->empty()) return ws;
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : *wear_) {
+    ++ws.blocks_written;
+    total += count;
+    if (count > ws.max_writes) ws.max_writes = count;
+  }
+  ws.mean_writes =
+      static_cast<double>(total) / static_cast<double>(ws.blocks_written);
+  return ws;
+}
+
+}  // namespace aem

@@ -1,0 +1,122 @@
+// The (M,B,omega)-AEM machine: cost accounting, capacity enforcement,
+// phase attribution, and optional trace recording.
+//
+// The machine itself stores no data — external arrays (core/ext_array.hpp)
+// own their storage and report every block transfer here.  This keeps the
+// machine non-templated while arrays are typed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/ledger.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace aem {
+
+class Machine {
+ public:
+  explicit Machine(Config cfg);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- model parameters -------------------------------------------------
+  const Config& config() const { return cfg_; }
+  std::size_t M() const { return cfg_.memory_elems; }
+  std::size_t B() const { return cfg_.block_elems; }
+  std::uint64_t omega() const { return cfg_.write_cost; }
+  /// m = ceil(M/B).
+  std::size_t m() const { return cfg_.m(); }
+  /// n = ceil(N/B) for a given element count N.
+  std::size_t n_of(std::size_t elems) const { return cfg_.blocks_for(elems); }
+
+  // --- accounting --------------------------------------------------------
+  IoStats stats() const { return stats_; }
+  /// Q = Q_r + omega * Q_w since construction or the last reset.
+  std::uint64_t cost() const { return stats_.cost(cfg_.write_cost); }
+  void reset_stats();
+
+  MemoryLedger& ledger() { return ledger_; }
+  const MemoryLedger& ledger() const { return ledger_; }
+
+  // --- phase attribution ---------------------------------------------------
+  /// RAII scope attributing subsequent I/Os to a named phase.  Phases nest
+  /// hierarchically: an I/O counts toward every phase on the stack, so an
+  /// outer phase's stats subsume those of the phases it encloses.
+  class PhaseScope {
+   public:
+    PhaseScope(Machine& mach, std::string name);
+    ~PhaseScope();
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Machine& mach_;
+  };
+
+  PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
+  const std::map<std::string, IoStats>& phase_stats() const { return phases_; }
+  void clear_phase_stats() { phases_.clear(); }
+
+  // --- wear tracking ---------------------------------------------------
+  /// NVM cells have limited write endurance, so beyond total write COUNT
+  /// (the omega-weighted cost), write CONCENTRATION matters: an algorithm
+  /// that hammers one block ages it omega-independent-ly.  When enabled,
+  /// the machine histograms writes per (array, block).
+  void enable_wear_tracking() { wear_.emplace(); }
+  bool wear_tracking() const { return wear_.has_value(); }
+
+  struct WearStats {
+    std::uint64_t blocks_written = 0;  // distinct (array, block) targets
+    std::uint64_t max_writes = 0;      // to the most-written block
+    double mean_writes = 0.0;          // across written blocks
+  };
+  WearStats wear_stats() const;
+
+  // --- tracing -------------------------------------------------------------
+  /// Starts recording ops into a fresh trace (dropping any previous one).
+  void enable_trace();
+  void disable_trace();
+  bool tracing() const { return trace_ != nullptr; }
+  /// The active trace, or nullptr when tracing is disabled.
+  Trace* trace() { return trace_.get(); }
+  const Trace* trace() const { return trace_.get(); }
+  /// Detaches and returns the recorded trace, disabling tracing.
+  std::unique_ptr<Trace> take_trace();
+
+  // --- hooks used by ExtArray ----------------------------------------------
+  /// Registers an array; the returned id appears in traces and diagnostics.
+  std::uint32_t register_array(std::string name);
+  const std::string& array_name(std::uint32_t id) const;
+
+  /// Charges one block read / write and records it if tracing.
+  IoTicket on_read(std::uint32_t array, std::uint64_t block);
+  IoTicket on_write(std::uint32_t array, std::uint64_t block);
+
+ private:
+  friend class PhaseScope;
+
+  Config cfg_;
+  MemoryLedger ledger_;
+  IoStats stats_;
+  std::vector<std::string> arrays_;
+  std::vector<std::string> phase_stack_;
+  std::map<std::string, IoStats> phases_;
+  std::unique_ptr<Trace> trace_;
+  std::optional<std::map<std::pair<std::uint32_t, std::uint64_t>,
+                         std::uint64_t>>
+      wear_;
+
+  void attribute(bool is_write);
+};
+
+}  // namespace aem

@@ -1,0 +1,10 @@
+#include "core/stats.hpp"
+
+namespace aem {
+
+std::string to_string(const IoStats& s) {
+  return "reads=" + std::to_string(s.reads) +
+         " writes=" + std::to_string(s.writes);
+}
+
+}  // namespace aem

@@ -1,0 +1,39 @@
+// I/O counters for the AEM machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aem {
+
+/// Read/write block-transfer counts.  The AEM cost of a computation with
+/// these counts is reads + omega * writes (Section 1 of the paper).
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  /// Q = Q_r + omega * Q_w.
+  std::uint64_t cost(std::uint64_t omega) const { return reads + omega * writes; }
+
+  std::uint64_t total_ios() const { return reads + writes; }
+
+  IoStats& operator+=(const IoStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  /// Counter delta (requires *this >= o component-wise).
+  friend IoStats operator-(const IoStats& a, const IoStats& b) {
+    return IoStats{a.reads - b.reads, a.writes - b.writes};
+  }
+
+  friend bool operator==(const IoStats&, const IoStats&) = default;
+};
+
+/// "reads=R writes=W" human-readable form.
+std::string to_string(const IoStats& s);
+
+}  // namespace aem

@@ -1,0 +1,67 @@
+#include "core/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aem {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# aem trace v1, ops=" << trace.size() << "\n";
+  for (const TraceOp& op : trace.ops()) {
+    os << (op.kind == OpKind::kRead ? 'R' : 'W') << ' ' << op.array << ' '
+       << op.block;
+    if (op.kind == OpKind::kRead && !op.used.empty()) {
+      os << " u";
+      for (std::uint64_t id : op.used) os << ' ' << id;
+    }
+    if (op.kind == OpKind::kWrite && !op.atoms.empty()) {
+      os << " a";
+      for (std::uint64_t id : op.atoms) os << ' ' << id;
+    }
+    os << '\n';
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    std::uint32_t array;
+    std::uint64_t block;
+    if (!(ls >> kind >> array >> block) || (kind != 'R' && kind != 'W'))
+      throw std::invalid_argument("trace line " + std::to_string(lineno) +
+                                  ": expected 'R|W <array> <block>'");
+    IoTicket t = trace.add(kind == 'R' ? OpKind::kRead : OpKind::kWrite,
+                           array, block);
+    std::string tag;
+    if (ls >> tag) {
+      const bool want_use = (kind == 'R' && tag == "u");
+      const bool want_atoms = (kind == 'W' && tag == "a");
+      if (!want_use && !want_atoms)
+        throw std::invalid_argument("trace line " + std::to_string(lineno) +
+                                    ": unexpected tag '" + tag + "'");
+      std::vector<std::uint64_t> ids;
+      std::uint64_t id;
+      while (ls >> id) ids.push_back(id);
+      if (!ls.eof())
+        throw std::invalid_argument("trace line " + std::to_string(lineno) +
+                                    ": malformed id list");
+      if (want_use) {
+        for (std::uint64_t v : ids) trace.mark_used(t, v);
+      } else {
+        trace.set_atoms(t, std::move(ids));
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace aem

@@ -1,0 +1,24 @@
+// Trace serialization: a line-oriented text format for recorded programs.
+//
+// Traces are the interchange point between the simulator and the
+// lower-bound machinery (rounds/, flash/); serializing them lets
+// experiments persist programs for offline analysis and diffing.
+//
+// Format (one op per line, '#' comments ignored):
+//   R <array> <block> [u <id>...]     read, optional use-set
+//   W <array> <block> [a <id>...]     write, optional atom list
+#pragma once
+
+#include <iosfwd>
+
+#include "core/trace.hpp"
+
+namespace aem {
+
+/// Writes `trace` in the text format above.
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace; throws std::invalid_argument on malformed input.
+Trace read_trace(std::istream& is);
+
+}  // namespace aem

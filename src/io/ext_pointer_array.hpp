@@ -1,0 +1,115 @@
+// Externally stored pointer/counter arrays (Section 3.1 of the paper).
+//
+// The AEM mergesort merges d = omega*m runs, and when omega > B the d block
+// pointers b[i] do not fit in internal memory.  The paper's solution — which
+// this class implements — is to keep them in external memory and write an
+// entry back only when it actually changes, i.e. when a whole block of the
+// corresponding run has been consumed.  Each entry thus incurs at most one
+// read-modify-write per consumed block of its run, giving the O(n) write
+// bound of Theorem 3.2.
+//
+// The streaming APIs (for_each / update_range) touch each underlying block
+// once per call, which is how the merge's initialization phase visits all d
+// pointers in O(d/B) reads while holding only one block in memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "core/ext_array.hpp"
+
+namespace aem {
+
+class ExtPointerArray {
+ public:
+  /// `count` pointer slots, zero-initialized in external memory.  The
+  /// zero-fill is charged: ceil(count/B) writes (the paper's O(omega*m/B)
+  /// initialization cost).
+  ExtPointerArray(Machine& mach, std::size_t count, std::string name)
+      : ExtPointerArray(mach, count, std::move(name),
+                        [](std::size_t) { return std::uint64_t{0}; }) {}
+
+  /// `count` pointer slots initialized to init(i), streamed out one block at
+  /// a time: ceil(count/B) writes, no reads.
+  ExtPointerArray(Machine& mach, std::size_t count, std::string name,
+                  const std::function<std::uint64_t(std::size_t)>& init)
+      : arr_(mach, count, std::move(name)) {
+    Buffer<std::uint64_t> staging(mach, mach.B());
+    const std::size_t B = mach.B();
+    for (std::uint64_t bi = 0; bi < arr_.blocks(); ++bi) {
+      const std::size_t count_in_block = arr_.block_elems(bi);
+      for (std::size_t i = 0; i < count_in_block; ++i)
+        staging[i] = init(static_cast<std::size_t>(bi) * B + i);
+      arr_.write_block(
+          bi, std::span<const std::uint64_t>(staging.data(), count_in_block));
+    }
+  }
+
+  std::size_t size() const { return arr_.size(); }
+
+  /// Random read of one entry: charges one block read.
+  std::uint64_t get(std::size_t i) {
+    Buffer<std::uint64_t> buf(arr_.machine(), arr_.machine().B());
+    const std::size_t B = arr_.machine().B();
+    arr_.read_block(i / B, buf.span());
+    return buf[i % B];
+  }
+
+  /// Random write of one entry: read-modify-write, one read + one write.
+  /// Call only when the value actually changed — the caller owns the
+  /// amortization argument.
+  void set(std::size_t i, std::uint64_t v) {
+    const std::size_t B = arr_.machine().B();
+    Buffer<std::uint64_t> buf(arr_.machine(), B);
+    const std::uint64_t bi = i / B;
+    arr_.read_block(bi, buf.span());
+    buf[i % B] = v;
+    arr_.write_block(bi, std::span<const std::uint64_t>(buf.data(),
+                                                        arr_.block_elems(bi)));
+  }
+
+  /// Streams entries [lo, hi), invoking fn(index, value).  Charges one read
+  /// per underlying block; holds one block of internal memory.
+  void for_each(std::size_t lo, std::size_t hi,
+                const std::function<void(std::size_t, std::uint64_t)>& fn) {
+    const std::size_t B = arr_.machine().B();
+    Buffer<std::uint64_t> buf(arr_.machine(), B);
+    std::size_t i = lo;
+    while (i < hi) {
+      const std::uint64_t bi = i / B;
+      BlockIo io = arr_.read_block(bi, buf.span());
+      const std::size_t block_lo = static_cast<std::size_t>(bi) * B;
+      for (; i < hi && i < block_lo + io.count; ++i) fn(i, buf[i - block_lo]);
+    }
+  }
+
+  /// Streams entries [lo, hi) with in-place mutation: fn returns true if it
+  /// changed the entry.  Dirty blocks are written back once each; clean
+  /// blocks cost only their read.
+  void update_range(std::size_t lo, std::size_t hi,
+                    const std::function<bool(std::size_t, std::uint64_t&)>& fn) {
+    const std::size_t B = arr_.machine().B();
+    Buffer<std::uint64_t> buf(arr_.machine(), B);
+    std::size_t i = lo;
+    while (i < hi) {
+      const std::uint64_t bi = i / B;
+      BlockIo io = arr_.read_block(bi, buf.span());
+      const std::size_t block_lo = static_cast<std::size_t>(bi) * B;
+      bool dirty = false;
+      for (; i < hi && i < block_lo + io.count; ++i)
+        dirty |= fn(i, buf[i - block_lo]);
+      if (dirty) {
+        arr_.write_block(bi,
+                         std::span<const std::uint64_t>(buf.data(), io.count));
+      }
+    }
+  }
+
+ private:
+  ExtArray<std::uint64_t> arr_;
+};
+
+}  // namespace aem

@@ -1,0 +1,81 @@
+// Sequential block-buffered reading of an external array range.
+//
+// A Scanner holds exactly one block (B elements) of internal memory and
+// charges one read I/O per block it advances over, which is the canonical
+// "scan" primitive of the EM literature: scanning N elements costs
+// ceil(N/B) reads and occupies B internal memory.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+#include "core/ext_array.hpp"
+
+namespace aem {
+
+template <class T>
+class Scanner {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  /// Scans arr[begin, end).  end == npos means arr.size().
+  Scanner(const ExtArray<T>& arr, std::size_t begin = 0, std::size_t end = npos)
+      : arr_(&arr),
+        buf_(arr.machine(), arr.machine().B()),
+        pos_(begin),
+        end_(end == npos ? arr.size() : end) {
+    assert(pos_ <= end_ && end_ <= arr.size());
+  }
+
+  bool done() const { return pos_ >= end_; }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return end_ - pos_; }
+
+  /// The element at the cursor without consuming it.  Loads the containing
+  /// block (one charged read) if it is not already buffered.
+  const T& peek() {
+    assert(!done());
+    ensure_loaded();
+    return buf_[pos_ - buf_lo_];
+  }
+
+  /// Consumes and returns the element at the cursor.
+  T next() {
+    const T v = peek();
+    ++pos_;
+    return v;
+  }
+
+  /// Skips `k` elements without reading the blocks they lie in.  Blocks that
+  /// are skipped entirely are never charged.
+  void skip(std::size_t k) {
+    assert(pos_ + k <= end_);
+    pos_ += k;
+  }
+
+  /// Trace ticket of the most recent charged read (invalid if none, or if
+  /// tracing is off).  Lets atom-tracking callers annotate use-sets.
+  IoTicket last_ticket() const { return last_ticket_; }
+
+ private:
+  void ensure_loaded() {
+    const std::size_t B = arr_->machine().B();
+    if (pos_ >= buf_lo_ && pos_ < buf_hi_) return;
+    const std::uint64_t bi = pos_ / B;
+    BlockIo io = arr_->read_block(bi, buf_.span());
+    buf_lo_ = static_cast<std::size_t>(bi) * B;
+    buf_hi_ = buf_lo_ + io.count;
+    last_ticket_ = io.ticket;
+  }
+
+  const ExtArray<T>* arr_;
+  Buffer<T> buf_;
+  std::size_t pos_;
+  std::size_t end_;
+  std::size_t buf_lo_ = 1;  // empty interval: nothing buffered yet
+  std::size_t buf_hi_ = 0;
+  IoTicket last_ticket_;
+};
+
+}  // namespace aem

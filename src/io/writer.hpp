@@ -1,0 +1,96 @@
+// Sequential block-buffered writing to an external array range.
+//
+// A Writer holds one block of internal memory, emits one write I/O per full
+// block, and — when a range boundary falls inside a block that holds live
+// data outside the range — performs the read-modify-write that a real block
+// device would need (charging the extra read).  Ranges used by the library's
+// algorithms are block-aligned, so the RMW path only triggers at terminal
+// partial blocks.
+//
+// finish() must be called to flush the final partial block; the destructor
+// asserts (in debug builds) that no buffered data is silently dropped.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+#include "core/ext_array.hpp"
+
+namespace aem {
+
+template <class T>
+class Writer {
+ public:
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+  /// Writes into arr[begin, end) sequentially.  end == npos means
+  /// arr.size().  The array must be pre-sized (grow_to) to cover the range.
+  Writer(ExtArray<T>& arr, std::size_t begin = 0, std::size_t end = npos)
+      : arr_(&arr),
+        buf_(arr.machine(), arr.machine().B()),
+        pos_(begin),
+        end_(end == npos ? arr.size() : end) {
+    assert(pos_ <= end_ && end_ <= arr.size());
+    buf_fill_ = 0;
+  }
+
+  Writer(Writer&&) noexcept = default;
+  Writer& operator=(Writer&&) noexcept = default;
+
+  ~Writer() { assert(buf_fill_ == 0 && "Writer destroyed with unflushed data"); }
+
+  std::size_t position() const { return pos_ + buf_fill_; }
+  std::size_t remaining() const { return end_ - position(); }
+  bool full() const { return position() >= end_; }
+
+  /// Appends one element; flushes automatically on block boundaries.
+  void push(const T& v) {
+    assert(!full());
+    const std::size_t B = arr_->machine().B();
+    // Align the first block: if pos_ is mid-block, stage a partial block.
+    buf_[buf_fill_++] = v;
+    const std::size_t block_off = pos_ % B;
+    if (block_off + buf_fill_ == B || pos_ + buf_fill_ == end_) {
+      // Full block or end of range: handled lazily by flush-on-boundary
+      // below only when the block is complete.
+      if (block_off + buf_fill_ == B) flush_block();
+    }
+  }
+
+  /// Flushes any buffered partial block.  Idempotent.
+  void finish() {
+    if (buf_fill_ > 0) flush_block();
+  }
+
+ private:
+  void flush_block() {
+    const std::size_t B = arr_->machine().B();
+    const std::uint64_t bi = pos_ / B;
+    const std::size_t block_off = pos_ % B;
+    const std::size_t block_count = arr_->block_elems(bi);
+
+    if (block_off == 0 && buf_fill_ == block_count) {
+      // The common case: our data covers the whole (possibly terminal
+      // partial) block.
+      arr_->write_block(bi, std::span<const T>(buf_.data(), buf_fill_));
+    } else {
+      // Range boundary inside a live block: read-modify-write.
+      Buffer<T> merge(arr_->machine(), B);
+      arr_->read_block(bi, merge.span());
+      for (std::size_t i = 0; i < buf_fill_; ++i)
+        merge[block_off + i] = buf_[i];
+      arr_->write_block(bi, std::span<const T>(merge.data(), block_count));
+    }
+    pos_ += buf_fill_;
+    buf_fill_ = 0;
+  }
+
+  ExtArray<T>* arr_;
+  Buffer<T> buf_;
+  std::size_t pos_;
+  std::size_t end_;
+  std::size_t buf_fill_ = 0;
+};
+
+}  // namespace aem

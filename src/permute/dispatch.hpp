@@ -1,0 +1,70 @@
+// Permutation dispatcher: the executable counterpart of the min{., .} in
+// Theorem 4.5 — run the naive gather when N + omega*n is cheaper than a full
+// sort, and the sort-based program otherwise.
+//
+// The estimates use the same closed forms as bounds/permute_bounds.hpp with
+// the implementation's measured constant (kSortCostFactor) folded in, so the
+// dispatcher's crossover tracks the paper's predicted crossover up to that
+// constant.  Experiment E5 sweeps B and omega across the crossover and
+// checks that the dispatcher picks the measured winner.
+#pragma once
+
+#include <span>
+
+#include "bounds/permute_bounds.hpp"
+#include "core/ext_array.hpp"
+#include "permute/naive.hpp"
+#include "permute/sort_permute.hpp"
+
+namespace aem {
+
+enum class PermuteStrategy { kNaive, kSortBased };
+
+inline const char* to_string(PermuteStrategy s) {
+  return s == PermuteStrategy::kNaive ? "naive" : "sort-based";
+}
+
+/// Implementation constant relating the sort-based program's true MERGE
+/// cost to the closed-form omega * n * log_{omega m} n (the double-block
+/// initialization and re-read of Section 3.1's rounds).  The tagging,
+/// stripping and base-case scans (~3 omega n) carry constant ~1 and are
+/// added separately.  Calibrated against E4/E5's measurements.
+inline constexpr double kSortCostFactor = 4.0;
+
+/// Predicted cost of each strategy for an N-element permutation.
+inline double predicted_naive_cost(const Machine& mach, std::size_t N) {
+  bounds::AemParams p{.N = N, .M = mach.M(), .B = mach.B(),
+                      .omega = mach.omega()};
+  return bounds::permute_naive_upper_bound(p);
+}
+
+inline double predicted_sort_cost(const Machine& mach, std::size_t N) {
+  bounds::AemParams p{.N = N, .M = mach.M(), .B = mach.B(),
+                      .omega = mach.omega()};
+  return kSortCostFactor * bounds::permute_bound_sort_branch(p) +
+         3.0 * static_cast<double>(p.omega) * static_cast<double>(p.n());
+}
+
+inline PermuteStrategy choose_permute_strategy(const Machine& mach,
+                                               std::size_t N) {
+  return predicted_naive_cost(mach, N) <= predicted_sort_cost(mach, N)
+             ? PermuteStrategy::kNaive
+             : PermuteStrategy::kSortBased;
+}
+
+/// out[dest[i]] = in[i] using whichever program the cost model predicts is
+/// cheaper.  Returns the strategy used.
+template <class T>
+PermuteStrategy permute(const ExtArray<T>& in,
+                        std::span<const std::uint64_t> dest,
+                        ExtArray<T>& out) {
+  const PermuteStrategy s = choose_permute_strategy(in.machine(), in.size());
+  if (s == PermuteStrategy::kNaive) {
+    naive_permute(in, dest, out);
+  } else {
+    sort_permute(in, dest, out);
+  }
+  return s;
+}
+
+}  // namespace aem

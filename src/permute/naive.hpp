@@ -1,0 +1,75 @@
+// The naive permutation program: the "N" branch of Theorem 4.5's
+// min{N, omega n log_{omega m} n}.
+//
+// For each output block, gather its B elements from wherever they live in
+// the input and write the block once: at most N reads (one per element,
+// fewer when sources cluster — consecutive gathers from the same input
+// block share one read via BlockCursor) and exactly n = ceil(N/B) writes,
+// for cost <= N + omega*n.  This is the program that wins when omega or B
+// is large enough that even one sorting pass is too write-expensive.
+//
+// The gather plan (the inverse permutation) is host-side program
+// construction in the sense of Section 2: the permutation is the problem
+// statement, so consulting it is free; only data transfers are charged.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "io/cursor.hpp"
+
+namespace aem {
+
+/// out[dest[i]] = in[i].  `dest` must be a permutation of {0..N-1}.
+/// Cost: <= N reads + ceil(N/B) writes.
+template <class T>
+void naive_permute(const ExtArray<T>& in, std::span<const std::uint64_t> dest,
+                   ExtArray<T>& out) {
+  const std::size_t N = in.size();
+  if (dest.size() != N || out.size() != N)
+    throw std::invalid_argument("naive_permute: size mismatch");
+
+  Machine& mach = in.machine();
+  const std::size_t B = mach.B();
+
+  // Host-side plan: src_of[j] = input position of the element destined for
+  // output position j (the inverse permutation).
+  std::vector<std::size_t> src_of(N);
+  for (std::size_t i = 0; i < N; ++i) {
+    if (dest[i] >= N) throw std::invalid_argument("naive_permute: bad dest");
+    src_of[dest[i]] = i;
+  }
+
+  const bool mark = mach.tracing() && in.has_atom_extractor();
+
+  Buffer<T> staging(mach, B);
+  BlockCursor<T> cursor(in);
+  const std::uint64_t out_blocks = out.blocks();
+  for (std::uint64_t t = 0; t < out_blocks; ++t) {
+    const std::size_t lo = static_cast<std::size_t>(t) * B;
+    const std::size_t count = out.block_elems(t);
+
+    // Visit this block's sources in block order so that clustered sources
+    // cost one read, not one per element.
+    std::vector<std::size_t> order(count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return src_of[lo + a] / B < src_of[lo + b] / B;
+    });
+
+    for (std::size_t k : order) {
+      const T& v = cursor.at(src_of[lo + k]);
+      staging[k] = v;
+      if (mark && cursor.last_ticket().valid())
+        mach.trace()->mark_used(cursor.last_ticket(), in.atom_id(v));
+    }
+    out.write_block(t, std::span<const T>(staging.data(), count));
+  }
+}
+
+}  // namespace aem

@@ -1,0 +1,88 @@
+#include "permute/permutation.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace aem::perm {
+
+bool is_permutation(const Perm& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (std::uint64_t v : p) {
+    if (v >= p.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+Perm inverse(const Perm& p) {
+  Perm inv(p.size());
+  for (std::uint64_t i = 0; i < p.size(); ++i) {
+    if (p[i] >= p.size()) throw std::invalid_argument("inverse: not a permutation");
+    inv[p[i]] = i;
+  }
+  return inv;
+}
+
+Perm compose(const Perm& f, const Perm& g) {
+  if (f.size() != g.size())
+    throw std::invalid_argument("compose: size mismatch");
+  Perm h(f.size());
+  for (std::uint64_t i = 0; i < g.size(); ++i) h[i] = f[g[i]];
+  return h;
+}
+
+std::uint64_t cycle_count(const Perm& p) {
+  std::vector<bool> seen(p.size(), false);
+  std::uint64_t cycles = 0;
+  for (std::uint64_t i = 0; i < p.size(); ++i) {
+    if (seen[i]) continue;
+    ++cycles;
+    for (std::uint64_t j = i; !seen[j]; j = p[j]) seen[j] = true;
+  }
+  return cycles;
+}
+
+Perm identity(std::uint64_t n) {
+  Perm p(n);
+  std::iota(p.begin(), p.end(), std::uint64_t{0});
+  return p;
+}
+
+Perm reversal(std::uint64_t n) {
+  Perm p(n);
+  for (std::uint64_t i = 0; i < n; ++i) p[i] = n - 1 - i;
+  return p;
+}
+
+Perm cyclic_shift(std::uint64_t n, std::uint64_t k) {
+  Perm p(n);
+  for (std::uint64_t i = 0; i < n; ++i) p[i] = (i + k) % n;
+  return p;
+}
+
+Perm transpose(std::uint64_t rows, std::uint64_t cols) {
+  Perm p(rows * cols);
+  for (std::uint64_t r = 0; r < rows; ++r)
+    for (std::uint64_t c = 0; c < cols; ++c) p[r * cols + c] = c * rows + r;
+  return p;
+}
+
+Perm bit_reversal(std::uint64_t n) {
+  if (!util::is_pow2(n)) throw std::invalid_argument("bit_reversal: n not 2^k");
+  const unsigned bits = util::ilog2(n);
+  Perm p(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t r = 0;
+    for (unsigned b = 0; b < bits; ++b) r |= ((i >> b) & 1) << (bits - 1 - b);
+    p[i] = r;
+  }
+  return p;
+}
+
+Perm random(std::uint64_t n, util::Rng& rng) {
+  return util::random_permutation(n, rng);
+}
+
+}  // namespace aem::perm

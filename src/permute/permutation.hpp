@@ -1,0 +1,46 @@
+// Host-side permutation utilities.
+//
+// In the paper's program model (Section 2), the permutation pi IS the
+// problem specification: a program is written for one fixed pi, so the
+// algorithm may consult pi freely while planning its I/Os — only touching
+// the DATA costs.  These helpers therefore live in ordinary host memory.
+//
+// Convention: perm[i] is the DESTINATION of the element at input position i
+// (out[perm[i]] = in[i]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aem::perm {
+
+using Perm = std::vector<std::uint64_t>;
+
+/// True iff `p` is a permutation of {0, ..., p.size()-1}.
+bool is_permutation(const Perm& p);
+
+/// inv[p[i]] = i.  Requires is_permutation(p).
+Perm inverse(const Perm& p);
+
+/// Composition h = f after g: h[i] = f[g[i]] (apply g, then f).
+Perm compose(const Perm& f, const Perm& g);
+
+/// Number of cycles (fixed points count as 1-cycles).
+std::uint64_t cycle_count(const Perm& p);
+
+Perm identity(std::uint64_t n);
+Perm reversal(std::uint64_t n);
+/// Rotation by k: element i moves to (i + k) mod n.
+Perm cyclic_shift(std::uint64_t n, std::uint64_t k);
+/// The matrix-transpose permutation of a rows x cols row-major matrix:
+/// element (r, c) at index r*cols + c moves to index c*rows + r.
+Perm transpose(std::uint64_t rows, std::uint64_t cols);
+/// Bit-reversal permutation of n = 2^k positions (an FFT-style worst case
+/// for locality).
+Perm bit_reversal(std::uint64_t n);
+/// Uniformly random permutation (delegates to util::random_permutation).
+Perm random(std::uint64_t n, util::Rng& rng);
+
+}  // namespace aem::perm

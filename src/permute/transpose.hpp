@@ -1,0 +1,29 @@
+// Dense matrix transposition as a permutation application.
+//
+// Transposing an R x C row-major matrix is the permutation sending index
+// r*C + c to c*R + r — one of the classic hard permutation families in the
+// EM literature (and bit-reversal's cousin).  On the AEM the dispatcher
+// decides between gathering and sorting exactly as for any permutation.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "permute/dispatch.hpp"
+#include "permute/permutation.hpp"
+
+namespace aem {
+
+/// out = in^T.  `in` holds rows*cols elements row-major; `out` receives the
+/// cols x rows transpose, row-major.  Returns the strategy the dispatcher
+/// picked.
+template <class T>
+PermuteStrategy transpose_ext(const ExtArray<T>& in, std::size_t rows,
+                              std::size_t cols, ExtArray<T>& out) {
+  if (in.size() != rows * cols || out.size() != rows * cols)
+    throw std::invalid_argument("transpose_ext: size mismatch");
+  const perm::Perm dest = perm::transpose(rows, cols);
+  return permute(in, std::span<const std::uint64_t>(dest), out);
+}
+
+}  // namespace aem

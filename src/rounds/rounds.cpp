@@ -1,0 +1,108 @@
+#include "rounds/rounds.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace aem::rounds {
+
+std::vector<Round> split_rounds(const Trace& trace, std::size_t m,
+                                std::uint64_t omega) {
+  if (m == 0) throw std::invalid_argument("split_rounds: m == 0");
+  const std::uint64_t budget = omega * static_cast<std::uint64_t>(m);
+  std::vector<Round> rounds;
+  Round cur;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint64_t c = trace.op(i).cost(omega);
+    if (cur.cost + c > budget) {
+      cur.last = i;
+      rounds.push_back(cur);
+      cur = Round{i, i, 0};
+    }
+    cur.cost += c;
+  }
+  cur.last = trace.size();
+  if (cur.last > cur.first || rounds.empty()) rounds.push_back(cur);
+  return rounds;
+}
+
+bool validate_rounds(const Trace& trace, const std::vector<Round>& rounds,
+                     std::size_t m_budget, std::uint64_t omega,
+                     bool check_lower) {
+  if (rounds.empty()) return trace.size() == 0;
+  const std::uint64_t budget = omega * static_cast<std::uint64_t>(m_budget);
+  std::size_t expect_first = 0;
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const Round& round = rounds[r];
+    if (round.first != expect_first || round.last < round.first) return false;
+    expect_first = round.last;
+    std::uint64_t cost = 0;
+    for (std::size_t i = round.first; i < round.last; ++i)
+      cost += trace.op(i).cost(omega);
+    if (cost != round.cost) return false;
+    if (cost > budget) return false;
+    if (check_lower && r + 1 < rounds.size() &&
+        cost < omega * static_cast<std::uint64_t>(m_budget - 1))
+      return false;
+  }
+  return expect_first == trace.size();
+}
+
+RoundBasedProgram make_round_based(const Trace& p, std::size_t m,
+                                   std::uint64_t omega) {
+  RoundBasedProgram out;
+  out.original = p.stats();
+  out.original_cost = p.cost(omega);
+
+  const std::vector<Round> p_rounds = split_rounds(p, m, omega);
+
+  std::uint64_t state_block_counter = 0;
+  for (std::size_t r = 0; r < p_rounds.size(); ++r) {
+    const Round& round = p_rounds[r];
+
+    // Reload the persisted memory image of the previous round (skipped for
+    // the first round; the lemma charges these reads to the previous round).
+    if (r > 0) {
+      for (std::size_t b = 0; b < m; ++b)
+        out.trace.add(OpKind::kRead, kStateArray,
+                      state_block_counter - m + b);
+    }
+
+    // Blocks written during this round live in M'' until the round ends.
+    std::set<std::pair<std::uint32_t, std::uint64_t>> buffered;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> deferred_writes;
+    for (std::size_t i = round.first; i < round.last; ++i) {
+      const TraceOp& op = p.op(i);
+      const auto key = std::make_pair(op.array, op.block);
+      if (op.kind == OpKind::kRead) {
+        // Served from M'' for free if written earlier in this round.
+        if (buffered.count(key) == 0)
+          out.trace.add(OpKind::kRead, op.array, op.block);
+      } else {
+        // Duplicated writes to the same block within a round collapse: only
+        // the final image leaves M''.
+        if (buffered.insert(key).second) deferred_writes.push_back(key);
+      }
+    }
+
+    // End of round: flush M'' and persist the memory image (except after
+    // the final round, where P has terminated and memory is discarded).
+    for (const auto& [array, block] : deferred_writes)
+      out.trace.add(OpKind::kWrite, array, block);
+    if (r + 1 < p_rounds.size()) {
+      for (std::size_t b = 0; b < m; ++b)
+        out.trace.add(OpKind::kWrite, kStateArray, state_block_counter + b);
+      state_block_counter += m;
+    }
+  }
+
+  out.transformed = out.trace.stats();
+  out.transformed_cost = out.trace.cost(omega);
+  // P' runs on the (2M,B,omega)-AEM: its rounds have budget 2m.  The lower
+  // window is not guaranteed for P' (a round of P may shrink when re-reads
+  // are served from M''), so only the upper window is meaningful here.
+  out.rounds = split_rounds(out.trace, 2 * m, omega);
+  return out;
+}
+
+}  // namespace aem::rounds

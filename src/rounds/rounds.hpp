@@ -1,0 +1,79 @@
+// Round decomposition and the Lemma 4.1 round-based rewrite.
+//
+// Section 4 defines an omega*m-round as a maximal chunk of a program whose
+// ops cost at most omega*m in total, with every round but the last costing
+// at least omega*(m-1).  A program is round-based if internal memory is
+// empty at round boundaries.  Lemma 4.1 shows any program P on an
+// (M,B,omega)-AEM can be rewritten as a round-based program P' on the
+// (2M,B,omega)-AEM at a constant-factor cost increase, by
+//
+//   * buffering all of a round's writes in the second half of memory (M'')
+//     and flushing them at the round's end;
+//   * serving re-reads of blocks written earlier in the same round from
+//     M'' instead of external memory;
+//   * persisting the internal-memory image (<= m blocks) at the end of each
+//     round and reloading it at the start of the next.
+//
+// make_round_based performs exactly this rewrite on a recorded trace and
+// reports the measured cost factor, which experiment E6 shows is a small
+// constant — the executable content of Lemma 4.1 and Corollary 4.2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+
+namespace aem::rounds {
+
+/// A half-open op range [first, last) of a trace with its total cost.
+struct Round {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::uint64_t cost = 0;
+};
+
+/// Greedy split of `trace` into omega*m-rounds.  Guarantees every round
+/// costs <= omega*m and every round but the last costs > omega*(m-1)
+/// (each op costs at most omega, so stopping before an overflow leaves at
+/// least omega*m - omega + 1).  Requires m >= 1.
+std::vector<Round> split_rounds(const Trace& trace, std::size_t m,
+                                std::uint64_t omega);
+
+/// Checks the Section 4 round conditions: contiguous full coverage, per-round
+/// cost <= omega * m_budget, and (when `check_lower`) cost >=
+/// omega * (m_budget - 1) for all but the last round.
+bool validate_rounds(const Trace& trace, const std::vector<Round>& rounds,
+                     std::size_t m_budget, std::uint64_t omega,
+                     bool check_lower = true);
+
+/// The result of the Lemma 4.1 rewrite.
+struct RoundBasedProgram {
+  Trace trace;                 // the ops of P' (state I/Os use array id
+                               // kStateArray)
+  std::vector<Round> rounds;   // round structure of P' (budget 2m)
+  IoStats original;            // P's counters
+  IoStats transformed;         // P''s counters
+  std::uint64_t original_cost = 0;
+  std::uint64_t transformed_cost = 0;
+
+  /// The Lemma 4.1 constant: cost(P') / cost(P).
+  double cost_factor() const {
+    return original_cost == 0
+               ? 1.0
+               : static_cast<double>(transformed_cost) /
+                     static_cast<double>(original_cost);
+  }
+};
+
+/// Array id used for the persisted internal-memory image of P'.
+inline constexpr std::uint32_t kStateArray = 0xFFFFFFFFu;
+
+/// Lemma 4.1: rewrite trace P (recorded on an (M,B,omega)-AEM with
+/// m = ceil(M/B)) as a round-based program on the (2M,B,omega)-AEM.
+RoundBasedProgram make_round_based(const Trace& p, std::size_t m,
+                                   std::uint64_t omega);
+
+}  // namespace aem::rounds

@@ -1,0 +1,69 @@
+// Internal-memory budgeting for the Section 3 algorithms.
+//
+// Section 3.1 opens with "let M be a constant fraction of the available
+// internal memory", which licenses the constant-factor slack every concrete
+// implementation needs.  aemlib's concrete split, asserted by the strict
+// ledger in every test run:
+//
+//   Mout  = M/4 (block-aligned)          the merge's staged output batch
+//                                        ("the array M" of the paper);
+//   m_eff = Mout / B                     Lemma 3.1's bound on simultaneously
+//                                        active runs;
+//   fanout d = max(2, omega * m_eff)     the paper's d = omega*m up to the
+//                                        constant;
+//   small_batch = M/2                    the base-case sort's staged batch
+//                                        (it only holds OUT + two blocks);
+//   base  = omega * small_batch          the small-sort chunk, the paper's
+//                                        N' <= omega*M base case.
+//
+// Merge-time residency: OUT (M/4) + active table (m_eff = M/4B <= M/4,
+// one element per active run, aux words under the Section 3.1 constant-
+// per-element allowance) + at most four transient blocks (4B <= M/2),
+// total < M whenever M >= 8B — which SortBudget::from therefore requires.
+// The bound covers the ARAM case B = 1 as well.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "util/math.hpp"
+
+namespace aem {
+
+struct SortBudget {
+  std::size_t out_batch;    // merge Mout = M/4: elements staged per round
+  std::size_t m_eff;        // Mout / B: max active runs (Lemma 3.1)
+  std::size_t fanout;       // d = max(2, omega * m_eff)
+  std::size_t small_batch;  // small-sort batch = M/2 (only OUT + two blocks)
+  std::size_t base;         // small-sort chunk size, omega * small_batch
+
+  /// Throws std::invalid_argument unless M >= 8B — the smallest memory for
+  /// which the merge's Mout + active table + transient blocks provably fit
+  /// in M under the strict ledger (see the header comment).
+  static SortBudget from(const Machine& mach) {
+    const std::size_t B = mach.B();
+    if (mach.M() < 8 * B)
+      throw std::invalid_argument(
+          "AEM sort algorithms require M >= 8B (got M=" +
+          std::to_string(mach.M()) + ", B=" + std::to_string(B) + ")");
+    SortBudget b;
+    b.out_batch = (mach.M() / 4 / B) * B;
+    b.m_eff = b.out_batch / B;
+    const std::uint64_t d = mach.omega() * static_cast<std::uint64_t>(b.m_eff);
+    b.fanout = static_cast<std::size_t>(d < 2 ? 2 : d);
+    b.small_batch = (mach.M() / 2 / B) * B;
+    b.base = static_cast<std::size_t>(mach.omega()) * b.small_batch;
+    return b;
+  }
+};
+
+/// Half-open element range [begin, end) within an external array.  Runs are
+/// the unit the merge operates on; begins must be block-aligned.
+struct RunBounds {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t length() const { return end - begin; }
+};
+
+}  // namespace aem

@@ -1,0 +1,129 @@
+// The omega-OBLIVIOUS baseline: Aggarwal & Vitter's classic m-way external
+// mergesort, run unchanged on the asymmetric machine.
+//
+// It performs Theta(n log_m n) reads AND Theta(n log_m n) writes, so its AEM
+// cost is (1 + omega) * n log_m n — asymptotically worse than Section 3's
+// omega-aware mergesort by the factor
+//
+//   ((1 + omega)/omega) * log(omega m)/log(m)
+//
+// (bounds::predicted_oblivious_penalty).  Experiment E3 measures exactly
+// this gap, which is the paper's motivation for omega-aware sorting.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "io/scanner.hpp"
+#include "io/writer.hpp"
+#include "sort/budget.hpp"
+#include "sort/mergesort.hpp"
+#include "util/math.hpp"
+
+namespace aem {
+
+namespace sort_detail {
+
+/// Classic k-way merge: one Scanner (one block) per run plus one Writer.
+/// Requires (k + 1) * B + O(k) <= M, which em_merge_fanout guarantees.
+template <class T, class Less>
+void em_merge_group(const ExtArray<T>& src, std::span<const RunBounds> runs,
+                    ExtArray<T>& dst, std::size_t dst_begin, Less less) {
+  Machine& mach = src.machine();
+  std::vector<Scanner<T>> heads;
+  heads.reserve(runs.size());
+  std::size_t total = 0;
+  for (const RunBounds& r : runs) {
+    heads.emplace_back(src, r.begin, r.end);
+    total += r.length();
+  }
+  MemoryReservation head_state(mach.ledger(), 2 * runs.size());
+  Writer<T> out(dst, dst_begin, dst_begin + total);
+
+  // Stable selection: ties broken by run index (runs are in input order).
+  while (true) {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i].done()) continue;
+      if (!best.has_value() || less(heads[i].peek(), heads[*best].peek()))
+        best = i;
+    }
+    if (!best.has_value()) break;
+    out.push(heads[*best].next());
+  }
+  out.finish();
+}
+
+}  // namespace sort_detail
+
+/// Merge fanout of the symmetric mergesort: as many runs as one block each
+/// fits alongside the output block, capped at half of memory for headroom.
+inline std::size_t em_merge_fanout(const Machine& mach) {
+  const std::size_t k = mach.m() / 2;
+  return k < 2 ? 2 : k;
+}
+
+/// Sorts `in` into `out` with the symmetric (omega-oblivious) EM mergesort:
+/// in-memory run formation over chunks of ~M/2, then m/2-way merge passes.
+/// Stable for distinct keys; ties broken by position (stable overall).
+template <class T, class Less = std::less<T>>
+void em_merge_sort(const ExtArray<T>& in, ExtArray<T>& out, Less less = {}) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("em_merge_sort: size mismatch");
+  const std::size_t n = in.size();
+  if (n == 0) return;
+
+  Machine& mach = in.machine();
+  const std::size_t B = mach.B();
+  std::size_t run_len = (mach.M() / 2 / B) * B;
+  if (run_len < B) run_len = B;
+  const std::size_t fanout = em_merge_fanout(mach);
+
+  auto runs = make_chunks(n, run_len);
+  const unsigned levels = util::ilog_base_ceil(runs.size(), fanout);
+
+  ExtArray<T> scratch(mach, n, "em_mergesort.scratch");
+  ExtArray<T>* first = (levels % 2 == 1) ? &scratch : &out;
+  ExtArray<T>* other = (levels % 2 == 1) ? &out : &scratch;
+
+  {
+    // Run formation: read a chunk, sort in memory, write it back out.
+    auto phase = mach.phase("em_sort.runs");
+    Buffer<T> chunk(mach, run_len);
+    for (const RunBounds& r : runs) {
+      std::size_t fill = 0;
+      Scanner<T> scan(in, r.begin, r.end);
+      while (!scan.done()) chunk[fill++] = scan.next();
+      std::stable_sort(chunk.data(), chunk.data() + fill, less);
+      Writer<T> w(*first, r.begin, r.end);
+      for (std::size_t i = 0; i < fill; ++i) w.push(chunk[i]);
+      w.finish();
+    }
+  }
+
+  auto phase = mach.phase("em_sort.merge");
+  ExtArray<T>* cur = first;
+  ExtArray<T>* next = other;
+  while (runs.size() > 1) {
+    std::vector<RunBounds> merged;
+    merged.reserve((runs.size() + fanout - 1) / fanout);
+    for (std::size_t g = 0; g < runs.size(); g += fanout) {
+      const std::size_t count = std::min(fanout, runs.size() - g);
+      sort_detail::em_merge_group(
+          *cur, std::span<const RunBounds>(runs).subspan(g, count), *next,
+          runs[g].begin, less);
+      merged.push_back(RunBounds{runs[g].begin, runs[g + count - 1].end});
+    }
+    runs = std::move(merged);
+    std::swap(cur, next);
+  }
+  if (cur != &out)
+    throw std::logic_error("em_merge_sort: parity bookkeeping error");
+}
+
+}  // namespace aem

@@ -1,0 +1,66 @@
+// SpMxV dispatcher: the executable min{., .} of the Section 5 upper bound
+//   O( min{ H, omega h log_{omega m}(N/max{delta,B}) } + omega n ).
+#pragma once
+
+#include "bounds/spmv_bounds.hpp"
+#include "core/ext_array.hpp"
+#include "spmv/naive.hpp"
+#include "spmv/sort_spmv.hpp"
+
+namespace aem::spmv {
+
+enum class SpmvStrategy { kNaive, kSortBased };
+
+inline const char* to_string(SpmvStrategy s) {
+  return s == SpmvStrategy::kNaive ? "naive" : "sort-based";
+}
+
+/// Implementation constant relating the sorting-based program's true cost
+/// to the closed form (run-formation passes, double-block initialization,
+/// densify scan).  Calibrated by E9.
+inline constexpr double kSpmvSortCostFactor = 6.0;
+
+inline bounds::SpmvParams spmv_params(const Machine& mach, std::uint64_t N,
+                                      std::uint64_t delta) {
+  return bounds::SpmvParams{.N = N, .delta = delta, .M = mach.M(),
+                            .B = mach.B(), .omega = mach.omega()};
+}
+
+inline double predicted_spmv_naive_cost(const Machine& mach, std::uint64_t N,
+                                        std::uint64_t delta) {
+  // The gather may read A and x separately per entry: ~2H + omega n.
+  const auto p = spmv_params(mach, N, delta);
+  return static_cast<double>(p.H()) + bounds::spmv_naive_upper_bound(p);
+}
+
+inline double predicted_spmv_sort_cost(const Machine& mach, std::uint64_t N,
+                                       std::uint64_t delta) {
+  return kSpmvSortCostFactor *
+         bounds::spmv_sort_upper_bound(spmv_params(mach, N, delta));
+}
+
+inline SpmvStrategy choose_spmv_strategy(const Machine& mach, std::uint64_t N,
+                                         std::uint64_t delta) {
+  return predicted_spmv_naive_cost(mach, N, delta) <=
+                 predicted_spmv_sort_cost(mach, N, delta)
+             ? SpmvStrategy::kNaive
+             : SpmvStrategy::kSortBased;
+}
+
+/// y = A (x) x using whichever program the cost model predicts is cheaper.
+/// Returns the strategy used.
+template <Semiring S>
+SpmvStrategy multiply(const SparseMatrix<typename S::Value>& A,
+                  const ExtArray<typename S::Value>& x,
+                  ExtArray<typename S::Value>& y, S s = {}) {
+  const SpmvStrategy strat = choose_spmv_strategy(
+      x.machine(), A.n(), A.conformation().delta());
+  if (strat == SpmvStrategy::kNaive) {
+    naive_spmv(A, x, y, s);
+  } else {
+    sort_spmv(A, x, y, s);
+  }
+  return strat;
+}
+
+}  // namespace aem::spmv

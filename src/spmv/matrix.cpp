@@ -1,0 +1,105 @@
+#include "spmv/matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace aem::spmv {
+
+Conformation::Conformation(std::uint64_t n, std::vector<Coord> coords,
+                           Layout layout)
+    : n_(n), coords_(std::move(coords)), layout_(layout) {
+  validate();
+}
+
+void Conformation::validate() const {
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    const Coord& c = coords_[i];
+    if (c.row >= n_ || c.col >= n_)
+      throw std::invalid_argument("Conformation: coordinate out of range");
+    if (i > 0) {
+      const Coord& p = coords_[i - 1];
+      const bool ordered =
+          layout_ == Layout::kColumnMajor
+              ? (p.col < c.col || (p.col == c.col && p.row < c.row))
+              : (p.row < c.row || (p.row == c.row && p.col < c.col));
+      if (!ordered)
+        throw std::invalid_argument(
+            "Conformation: entries must be strictly sorted in the declared "
+            "layout order");
+    }
+  }
+}
+
+Conformation Conformation::reordered(Layout layout) const {
+  std::vector<Coord> coords = coords_;
+  if (layout == Layout::kColumnMajor) {
+    std::sort(coords.begin(), coords.end(), [](const Coord& a, const Coord& b) {
+      return a.col != b.col ? a.col < b.col : a.row < b.row;
+    });
+  } else {
+    std::sort(coords.begin(), coords.end(), [](const Coord& a, const Coord& b) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+  }
+  return Conformation(n_, std::move(coords), layout);
+}
+
+std::uint64_t Conformation::delta() const {
+  if (n_ == 0) return 0;
+  return util::ceil_div(coords_.size(), n_);
+}
+
+Conformation Conformation::delta_regular(std::uint64_t n, std::uint64_t delta,
+                                         util::Rng& rng) {
+  if (delta > n)
+    throw std::invalid_argument("delta_regular: delta > n");
+  std::vector<Coord> coords;
+  coords.reserve(n * delta);
+  std::vector<std::uint32_t> rows(delta);
+  for (std::uint64_t c = 0; c < n; ++c) {
+    // Floyd's algorithm: delta distinct rows out of n, uniform.
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(delta);
+    for (std::uint64_t j = n - delta; j < n; ++j) {
+      std::uint32_t t = static_cast<std::uint32_t>(rng.below(j + 1));
+      if (std::find(chosen.begin(), chosen.end(), t) != chosen.end())
+        t = static_cast<std::uint32_t>(j);
+      chosen.push_back(t);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    for (std::uint32_t r : chosen)
+      coords.push_back(Coord{r, static_cast<std::uint32_t>(c)});
+  }
+  return Conformation(n, std::move(coords));
+}
+
+Conformation Conformation::banded(std::uint64_t n,
+                                  std::uint64_t half_bandwidth) {
+  std::vector<Coord> coords;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    const std::uint64_t lo = c > half_bandwidth ? c - half_bandwidth : 0;
+    const std::uint64_t hi = std::min(n - 1, c + half_bandwidth);
+    for (std::uint64_t r = lo; r <= hi; ++r)
+      coords.push_back(Coord{static_cast<std::uint32_t>(r),
+                             static_cast<std::uint32_t>(c)});
+  }
+  return Conformation(n, std::move(coords));
+}
+
+Conformation Conformation::block_diagonal(std::uint64_t n,
+                                          std::uint64_t block) {
+  if (block == 0) throw std::invalid_argument("block_diagonal: block == 0");
+  std::vector<Coord> coords;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    const std::uint64_t base = (c / block) * block;
+    const std::uint64_t hi = std::min(n, base + block);
+    for (std::uint64_t r = base; r < hi; ++r)
+      coords.push_back(Coord{static_cast<std::uint32_t>(r),
+                             static_cast<std::uint32_t>(c)});
+  }
+  return Conformation(n, std::move(coords));
+}
+
+}  // namespace aem::spmv

@@ -1,0 +1,116 @@
+// Sparse matrices in column-major layout (Section 5).
+//
+// A Conformation is the host-side structure of the matrix: the (row, col)
+// coordinates of the non-zero entries in column-major order.  In the
+// paper's program model the conformation is part of the problem statement —
+// a program is written for one fixed conformation — so the planners consult
+// it freely.  The VALUES are semiring atoms living in external memory
+// (SparseMatrix::entries()), and only their transfers are charged.
+//
+// Theorem 5.1's hard instances have exactly delta non-zeros per column;
+// delta_regular generates those.  banded and block_diagonal provide
+// structured conformations for the examples and ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "io/writer.hpp"
+#include "util/rng.hpp"
+
+namespace aem::spmv {
+
+struct Coord {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Storage order of the non-zero entries.  The paper's Section 5 lower
+/// bound is for COLUMN-major layout — the adversarial choice, since the
+/// output is produced row by row.  Row-major is provided as the ablation:
+/// with it the direct program becomes a near-scan and the sorting-based
+/// program is pointless (bench_a1_layout measures the gap).
+enum class Layout { kColumnMajor, kRowMajor };
+
+inline const char* to_string(Layout l) {
+  return l == Layout::kColumnMajor ? "column-major" : "row-major";
+}
+
+class Conformation {
+ public:
+  Conformation(std::uint64_t n, std::vector<Coord> coords,
+               Layout layout = Layout::kColumnMajor);
+
+  std::uint64_t n() const { return n_; }
+  std::uint64_t nnz() const { return coords_.size(); }
+  const std::vector<Coord>& coords() const { return coords_; }
+  Layout layout() const { return layout_; }
+
+  /// The same non-zero structure stored in the other order.
+  Conformation reordered(Layout layout) const;
+
+  /// Average non-zeros per column, rounded up (the paper's delta for
+  /// delta-regular instances; a density summary otherwise).
+  std::uint64_t delta() const;
+
+  /// Exactly `delta` non-zeros per column, rows uniform without repetition
+  /// within a column.  Requires delta <= n.
+  static Conformation delta_regular(std::uint64_t n, std::uint64_t delta,
+                                    util::Rng& rng);
+  /// Band matrix: entry (r, c) present iff |r - c| <= half_bandwidth,
+  /// giving ~(2*half_bandwidth + 1) entries per column.
+  static Conformation banded(std::uint64_t n, std::uint64_t half_bandwidth);
+  /// Disjoint dense blocks of size `block` along the diagonal.
+  static Conformation block_diagonal(std::uint64_t n, std::uint64_t block);
+
+ private:
+  void validate() const;  // layout-sorted, coordinates in range
+
+  std::uint64_t n_;
+  std::vector<Coord> coords_;
+  Layout layout_ = Layout::kColumnMajor;
+};
+
+template <class V>
+struct MatrixEntry {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  V val{};
+};
+
+/// A conformation plus externally stored entry values.
+template <class V>
+class SparseMatrix {
+ public:
+  /// Stages the entries into external memory uncharged (the input's
+  /// presence in external memory is the problem statement).  `value_of`
+  /// supplies each entry's value; defaults handled by callers (usually the
+  /// semiring's one()).
+  SparseMatrix(Machine& mach, Conformation conf,
+               const std::function<V(Coord)>& value_of, std::string name = "A")
+      : conf_(std::move(conf)),
+        entries_(mach, conf_.nnz(), std::move(name)) {
+    std::vector<MatrixEntry<V>> host;
+    host.reserve(conf_.nnz());
+    for (const Coord& c : conf_.coords())
+      host.push_back(MatrixEntry<V>{c.row, c.col, value_of(c)});
+    entries_.unsafe_host_fill(host);
+  }
+
+  const Conformation& conformation() const { return conf_; }
+  const ExtArray<MatrixEntry<V>>& entries() const { return entries_; }
+  std::uint64_t n() const { return conf_.n(); }
+  std::uint64_t nnz() const { return conf_.nnz(); }
+
+ private:
+  Conformation conf_;
+  ExtArray<MatrixEntry<V>> entries_;
+};
+
+}  // namespace aem::spmv

@@ -1,0 +1,87 @@
+// The direct ("naive") SpMxV program of Section 5: for each output y_i in
+// natural order, gather the row-i entries of the column-major matrix and
+// fold a_ij (x) x_j into y_i.
+//
+// Cost: every entry gather costs at most one read of A plus one read of x
+// (shared when consecutive gathers hit the same block), and y is written
+// once: O(H + omega * n) — the branch of the Section 5 upper bound that
+// wins when writes are expensive enough that even one sorting pass over the
+// elementary products costs more than element-granular gathering.
+//
+// The per-row entry index is host-side program construction (Section 2):
+// the conformation is the problem statement, so planning from it is free.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "io/cursor.hpp"
+#include "io/writer.hpp"
+#include "spmv/matrix.hpp"
+#include "spmv/semiring.hpp"
+
+namespace aem::spmv {
+
+namespace detail {
+
+/// Shared gather loop: with_x = false computes y = A (x) 1 (the all-ones
+/// vector of the Theorem 5.1 hard instance) without touching x at all —
+/// the program knows the vector is implicit, so charging reads for it
+/// would be fiction.
+template <Semiring S>
+void naive_gather(const SparseMatrix<typename S::Value>& A,
+                  const ExtArray<typename S::Value>* x,
+                  ExtArray<typename S::Value>& y, S s) {
+  using V = typename S::Value;
+  const std::uint64_t N = A.n();
+  if ((x != nullptr && x->size() != N) || y.size() != N)
+    throw std::invalid_argument("naive_spmv: vector size mismatch");
+
+  // Host-side plan: entry indices grouped by row, each row's entries in
+  // storage position order (clustered A reads stay clustered).
+  std::vector<std::vector<std::size_t>> row_plan(N);
+  {
+    const auto& coords = A.conformation().coords();
+    for (std::size_t e = 0; e < coords.size(); ++e)
+      row_plan[coords[e].row].push_back(e);
+  }
+
+  BlockCursor<MatrixEntry<V>> a_cursor(A.entries());
+  std::optional<BlockCursor<V>> x_cursor;
+  if (x != nullptr) x_cursor.emplace(*x);
+  Writer<V> out(y);
+  for (std::uint64_t i = 0; i < N; ++i) {
+    V acc = s.zero();
+    for (std::size_t e : row_plan[i]) {
+      const MatrixEntry<V>& entry = a_cursor.at(e);
+      const V xv = x_cursor ? x_cursor->at(entry.col) : s.one();
+      acc = s.add(acc, s.mul(entry.val, xv));
+    }
+    out.push(acc);
+  }
+  out.finish();
+}
+
+}  // namespace detail
+
+/// y = A (x) x over semiring `s`.  y must have size A.n().
+template <Semiring S>
+void naive_spmv(const SparseMatrix<typename S::Value>& A,
+                const ExtArray<typename S::Value>& x,
+                ExtArray<typename S::Value>& y, S s = {}) {
+  detail::naive_gather(A, &x, y, s);
+}
+
+/// y = A (x) 1 — the paper's hard instance (row sums).  No x reads: the
+/// all-ones vector is part of the problem statement.
+template <Semiring S>
+void naive_row_sums(const SparseMatrix<typename S::Value>& A,
+                    ExtArray<typename S::Value>& y, S s = {}) {
+  detail::naive_gather<S>(A, nullptr, y, s);
+}
+
+}  // namespace aem::spmv

@@ -1,0 +1,71 @@
+// Semiring abstraction for SpMxV (Section 5).
+//
+// Theorem 5.1 is proved for programs over an arbitrary semiring — no
+// inverses, no cancellation (which rules out Strassen-style tricks).  All
+// SpMxV code in aemlib is templated over a Semiring so that the algorithms
+// can only use add/mul/zero/one, making the restriction structural rather
+// than a comment.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace aem::spmv {
+
+template <class S>
+concept Semiring = requires(const S s, typename S::Value a,
+                            typename S::Value b) {
+  typename S::Value;
+  { s.zero() } -> std::convertible_to<typename S::Value>;
+  { s.one() } -> std::convertible_to<typename S::Value>;
+  { s.add(a, b) } -> std::convertible_to<typename S::Value>;
+  { s.mul(a, b) } -> std::convertible_to<typename S::Value>;
+};
+
+/// The ordinary (+, *) semiring over doubles — numerical SpMxV.
+struct PlusTimes {
+  using Value = double;
+  Value zero() const { return 0.0; }
+  Value one() const { return 1.0; }
+  Value add(Value a, Value b) const { return a + b; }
+  Value mul(Value a, Value b) const { return a * b; }
+};
+
+/// The tropical (min, +) semiring — one SpMxV step is one round of
+/// single-source shortest-path relaxation.
+struct MinPlus {
+  using Value = double;
+  Value zero() const { return std::numeric_limits<double>::infinity(); }
+  Value one() const { return 0.0; }
+  Value add(Value a, Value b) const { return a < b ? a : b; }
+  Value mul(Value a, Value b) const { return a + b; }
+};
+
+/// The boolean (or, and) semiring — one SpMxV step is one step of
+/// reachability frontier expansion.
+struct BoolOr {
+  using Value = std::uint8_t;
+  Value zero() const { return 0; }
+  Value one() const { return 1; }
+  Value add(Value a, Value b) const { return a | b; }
+  Value mul(Value a, Value b) const { return a & b; }
+};
+
+/// The counting semiring over uint64 — with the all-ones vector this
+/// computes row degrees, the exact computation the Theorem 5.1 hard
+/// instance performs.
+struct Counting {
+  using Value = std::uint64_t;
+  Value zero() const { return 0; }
+  Value one() const { return 1; }
+  Value add(Value a, Value b) const { return a + b; }
+  Value mul(Value a, Value b) const { return a * b; }
+};
+
+static_assert(Semiring<PlusTimes>);
+static_assert(Semiring<MinPlus>);
+static_assert(Semiring<BoolOr>);
+static_assert(Semiring<Counting>);
+
+}  // namespace aem::spmv

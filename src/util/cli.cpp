@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace aem::util {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean switch
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::uint64_t Cli::u64(const std::string& name, std::uint64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::f64(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string Cli::str(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Cli::flag(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::uint64_t> Cli::u64_list(
+    const std::string& name, std::vector<std::uint64_t> def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::uint64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    try {
+      out.push_back(std::stoull(s.substr(pos, comma - pos)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + name +
+                                  " expects comma-separated integers, got '" +
+                                  s + "'");
+    }
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("flag --" + name + " expects at least one value");
+  }
+  return out;
+}
+
+}  // namespace aem::util

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches.
+// Unknown flags are an error, so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aem::util {
+
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Cli(int argc, char** argv);
+
+  /// Value lookups with defaults.  Throw std::invalid_argument if a flag is
+  /// present but not parseable at the requested type.
+  std::uint64_t u64(const std::string& name, std::uint64_t def) const;
+  double f64(const std::string& name, double def) const;
+  std::string str(const std::string& name, const std::string& def) const;
+  bool flag(const std::string& name) const;
+
+  /// Comma-separated list of integers, e.g. --omega=1,4,16.
+  std::vector<std::uint64_t> u64_list(const std::string& name,
+                                      std::vector<std::uint64_t> def) const;
+
+  bool has(const std::string& name) const;
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace aem::util

@@ -1,0 +1,60 @@
+// Small integer-math helpers shared across aemlib.
+//
+// All functions are constexpr-friendly and defined for the value ranges the
+// simulator uses (element counts and block counts that fit in 64 bits).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace aem::util {
+
+/// Ceiling division for non-negative integers: ceil(a / b).  b must be > 0.
+/// Overflow-safe (no a + b intermediate).
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return a == 0 ? 0 : (a - 1) / b + 1;
+}
+
+/// Round `a` up to the next multiple of `b`.  b must be > 0.
+constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Floor of log2(x).  x must be > 0.
+constexpr unsigned ilog2(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Ceiling of log2(x).  x must be > 0.
+constexpr unsigned ilog2_ceil(std::uint64_t x) {
+  return (x <= 1) ? 0 : ilog2(x - 1) + 1;
+}
+
+/// True if x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Integer power: base^exp, saturating at uint64 max.
+constexpr std::uint64_t ipow_sat(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && r > UINT64_MAX / base) return UINT64_MAX;
+    r *= base;
+  }
+  return r;
+}
+
+/// ceil(log_d(x)): number of d-ary merge levels needed to go from x runs to 1.
+/// Defined as 0 for x <= 1.  d must be >= 2.
+constexpr unsigned ilog_base_ceil(std::uint64_t x, std::uint64_t d) {
+  unsigned levels = 0;
+  std::uint64_t runs = x;
+  while (runs > 1) {
+    runs = ceil_div(runs, d);
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace aem::util

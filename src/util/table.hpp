@@ -1,0 +1,52 @@
+// Plain-text table printing for the benchmark harness.
+//
+// Every bench binary prints one or more tables in the style a paper's
+// evaluation section would: a header row, aligned numeric columns, and an
+// optional CSV duplicate for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aem::util {
+
+/// A simple right-aligned text table with string cells.
+///
+/// Usage:
+///   Table t({"N", "omega", "Q", "bound", "ratio"});
+///   t.add_row({fmt(n), fmt(w), fmt(q), fmt(b), fmt_ratio(q, b)});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty-print with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (same cells, no alignment).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format an unsigned integer.
+std::string fmt(std::uint64_t v);
+/// Format a signed integer.
+std::string fmt(std::int64_t v);
+/// Format a double with the given precision (default 3 digits).
+std::string fmt(double v, int precision = 3);
+/// Format a / b as a fixed-point ratio; "inf" if b == 0.
+std::string fmt_ratio(double a, double b, int precision = 3);
+/// Format v with thousands separators ("1,234,567").
+std::string fmt_sep(std::uint64_t v);
+
+}  // namespace aem::util

@@ -1,0 +1,311 @@
+// Unit and property tests for bounds/: log-space combinatorics and the
+// paper's bound formulas (Theorems 3.2, 4.5, 5.1; Corollaries 4.2, 4.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bounds/counting.hpp"
+#include "bounds/logmath.hpp"
+#include "bounds/permute_bounds.hpp"
+#include "bounds/sort_bounds.hpp"
+#include "bounds/spmv_bounds.hpp"
+
+namespace {
+
+using namespace aem::bounds;
+
+TEST(LogMathTest, FactorialMatchesSmallValues) {
+  EXPECT_DOUBLE_EQ(log2_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_factorial(1), 0.0);
+  EXPECT_NEAR(log2_factorial(2), 1.0, 1e-9);
+  EXPECT_NEAR(log2_factorial(4), std::log2(24.0), 1e-9);
+  EXPECT_NEAR(log2_factorial(10), std::log2(3628800.0), 1e-9);
+}
+
+TEST(LogMathTest, BinomialMatchesSmallValues) {
+  EXPECT_NEAR(log2_binomial(5, 2), std::log2(10.0), 1e-9);
+  EXPECT_NEAR(log2_binomial(10, 5), std::log2(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(log2_binomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_binomial(5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(log2_binomial(5, 7), 0.0);
+}
+
+TEST(LogMathTest, LogBaseClampsAtFloor) {
+  EXPECT_DOUBLE_EQ(log_base(8.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(log_base(1.0, 2.0), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(log_base(100.0, 1.0), 1.0); // degenerate base
+  EXPECT_NEAR(log_base(1000.0, 10.0), 3.0, 1e-12);
+}
+
+TEST(LogMathTest, StirlingSandwich) {
+  // (k/3)^k <= k! <= (k/2)^k for k >= 6 (the paper's inequality).
+  for (std::uint64_t k : {6u, 16u, 64u, 256u, 1024u}) {
+    const double lo = k * std::log2(k / 3.0);
+    const double hi = k * std::log2(k / 2.0);
+    const double f = log2_factorial(k);
+    EXPECT_GE(f, lo) << k;
+    EXPECT_LE(f, hi) << k;
+  }
+}
+
+TEST(PermuteBoundTest, BranchesAndMin) {
+  AemParams p{.N = 1 << 20, .M = 1 << 10, .B = 16, .omega = 4};
+  const double naive = permute_bound_naive_branch(p);
+  const double sort = permute_bound_sort_branch(p);
+  EXPECT_DOUBLE_EQ(naive, double(1 << 20));
+  EXPECT_GT(sort, 0.0);
+  EXPECT_DOUBLE_EQ(permute_lower_bound(p), std::min(naive, sort));
+}
+
+TEST(PermuteBoundTest, SortBranchFormula) {
+  // omega * n * log_{omega m} n with n = N/B, m = M/B.
+  AemParams p{.N = 1 << 16, .M = 1 << 10, .B = 16, .omega = 4};
+  const double n = double(1 << 12);
+  const double base = 4.0 * double(1 << 6);
+  const double expected = 4.0 * n * (std::log2(n) / std::log2(base));
+  EXPECT_NEAR(permute_bound_sort_branch(p), expected, 1e-6);
+}
+
+TEST(PermuteBoundTest, ApplicabilityCondition) {
+  AemParams ok{.N = 4096, .M = 256, .B = 16, .omega = 256};
+  EXPECT_TRUE(permute_bound_applicable(ok));  // 256*16 = 4096 <= N
+  AemParams bad{.N = 4095, .M = 256, .B = 16, .omega = 256};
+  EXPECT_FALSE(permute_bound_applicable(bad));
+}
+
+TEST(PermuteBoundTest, OmegaMonotone) {
+  // The lower bound is non-decreasing in omega (more expensive writes can
+  // only make permuting harder).
+  AemParams p{.N = 1 << 18, .M = 1 << 10, .B = 32, .omega = 1};
+  double prev = 0.0;
+  for (std::uint64_t w : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    p.omega = w;
+    const double b = permute_lower_bound(p);
+    EXPECT_GE(b, prev - 1e-9) << "omega=" << w;
+    prev = b;
+  }
+}
+
+TEST(PermuteBoundTest, NaiveBranchWinsForHugeOmega) {
+  // With omega large enough, min is the N branch.
+  AemParams p{.N = 1 << 18, .M = 1 << 10, .B = 16, .omega = 1 << 13};
+  EXPECT_DOUBLE_EQ(permute_lower_bound(p), double(p.N));
+}
+
+TEST(PermuteBoundTest, UpperBoundsDominateLowerBound) {
+  // For any parameters, max(upper bounds) >= lower bound; and the better of
+  // the two upper bounds is within a log-free constant of the lower bound's
+  // corresponding branch.
+  for (std::uint64_t N : {1u << 14, 1u << 18}) {
+    for (std::uint64_t w : {1u, 4u, 64u}) {
+      AemParams p{.N = N, .M = 1 << 9, .B = 16, .omega = w};
+      const double lb = permute_lower_bound(p);
+      const double naive_ub = permute_naive_upper_bound(p);
+      const double sort_ub = permute_sort_upper_bound(p);
+      EXPECT_GE(naive_ub, permute_bound_naive_branch(p));
+      EXPECT_GE(sort_ub, 0.9 * permute_bound_sort_branch(p));
+      EXPECT_GE(std::min(naive_ub, sort_ub) * 8.0, lb);
+    }
+  }
+}
+
+TEST(PermuteBoundTest, FlashReductionWeakerByScanTerm) {
+  // Regime where Corollary 4.4 is non-trivial: the closed-form bound exceeds
+  // the 2*omega*n scan term (tiny memory -> many merge levels).
+  AemParams p{.N = 1 << 18, .M = 16, .B = 8, .omega = 1};
+  const double direct = permute_lower_bound(p);
+  const double scan = 2.0 * double(p.omega) * double(p.n());
+  ASSERT_GT(direct, scan);
+  const double via_flash = permute_lower_bound_via_flash(p);
+  EXPECT_LE(via_flash, direct);
+  EXPECT_NEAR(direct - via_flash, scan, 1e-6);
+}
+
+TEST(PermuteBoundTest, FlashReductionClampsAtZero) {
+  // In ranges where 2*omega*n dominates, Corollary 4.4 degenerates to 0 —
+  // exactly the "non-trivial parameter range" caveat in the paper.
+  AemParams p{.N = 1 << 18, .M = 1 << 10, .B = 64, .omega = 8};
+  ASSERT_LT(permute_lower_bound(p), 2.0 * double(p.omega) * double(p.n()));
+  EXPECT_DOUBLE_EQ(permute_lower_bound_via_flash(p), 0.0);
+}
+
+TEST(PermuteBoundTest, AvBoundSymmetricCase) {
+  // The classical Aggarwal-Vitter bound at omega=1 equals the AEM bound.
+  AemParams p{.N = 1 << 16, .M = 1 << 10, .B = 16, .omega = 1};
+  EXPECT_NEAR(permute_lower_bound(p), av_permute_bound_ios(p.N, p.M, p.B),
+              1e-6);
+}
+
+TEST(SortBoundTest, ReadsAndWritesSplit) {
+  AemParams p{.N = 1 << 18, .M = 1 << 10, .B = 16, .omega = 16};
+  EXPECT_NEAR(aem_sort_read_bound(p), 16.0 * aem_sort_write_bound(p), 1e-6);
+  EXPECT_DOUBLE_EQ(aem_sort_upper_bound(p), aem_sort_read_bound(p));
+}
+
+TEST(SortBoundTest, ObliviousPenaltyGrowsWithOmega) {
+  AemParams p{.N = 1 << 20, .M = 1 << 10, .B = 16, .omega = 1};
+  // At omega=1 the two algorithms coincide up to the (1+w)/w = 2 factor.
+  EXPECT_NEAR(predicted_oblivious_penalty(p), 2.0, 1e-9);
+  p.omega = 64;
+  const double adv = predicted_oblivious_penalty(p);
+  EXPECT_GT(adv, 1.0);
+  // em cost / aem cost should equal the predicted penalty.
+  EXPECT_NEAR(em_sort_cost_on_aem(p) / aem_sort_upper_bound(p), adv, 1e-9);
+}
+
+TEST(SortBoundTest, MergeBoundsLinearInOmega) {
+  AemParams p{.N = 1 << 16, .M = 1 << 10, .B = 16, .omega = 8};
+  EXPECT_NEAR(aem_merge_read_bound(p),
+              8.0 * (double(p.n()) + double(p.m())), 1e-9);
+  EXPECT_NEAR(aem_merge_write_bound(p), double(p.n()) + double(p.m()), 1e-9);
+  EXPECT_NEAR(small_sort_read_bound(p), 8.0 * double(p.n()), 1e-9);
+  EXPECT_NEAR(small_sort_write_bound(p), double(p.n()), 1e-9);
+}
+
+TEST(SortBoundTest, SortingLowerBoundEqualsPermuting) {
+  AemParams p{.N = 1 << 18, .M = 1 << 9, .B = 32, .omega = 4};
+  EXPECT_DOUBLE_EQ(sort_lower_bound(p), permute_lower_bound(p));
+}
+
+TEST(CountingBoundTest, TargetIsPositiveAndGrows) {
+  AemParams p{.N = 1 << 12, .M = 1 << 8, .B = 8, .omega = 2};
+  const double t1 = log2_target_permutations(p);
+  EXPECT_GT(t1, 0.0);
+  p.N <<= 2;
+  EXPECT_GT(log2_target_permutations(p), t1);
+}
+
+TEST(CountingBoundTest, MinRoundsPositiveForNontrivialInput) {
+  AemParams p{.N = 1 << 16, .M = 1 << 8, .B = 8, .omega = 2};
+  const std::uint64_t r = min_rounds_counting(p);
+  EXPECT_GT(r, 1u);
+  // More rounds needed for bigger inputs at the same machine.
+  AemParams big = p;
+  big.N <<= 2;
+  EXPECT_GT(min_rounds_counting(big), r);
+}
+
+TEST(CountingBoundTest, CostBoundConsistentWithClosedForm) {
+  // The exact counting bound should be within a moderate constant of the
+  // closed-form min{N, omega n log_{omega m} n} for mid-range parameters.
+  AemParams p{.N = 1 << 18, .M = 1 << 9, .B = 16, .omega = 4};
+  const double exact = counting_cost_bound_round_based(p);
+  const double closed = permute_lower_bound(p);
+  EXPECT_GT(exact, 0.0);
+  EXPECT_GT(closed, 0.0);
+  const double ratio = exact / closed;
+  EXPECT_GT(ratio, 0.02) << "exact=" << exact << " closed=" << closed;
+  EXPECT_LT(ratio, 50.0) << "exact=" << exact << " closed=" << closed;
+}
+
+TEST(CountingBoundTest, GeneralBoundBelowRoundBased) {
+  AemParams p{.N = 1 << 16, .M = 1 << 8, .B = 8, .omega = 2};
+  EXPECT_LE(counting_cost_bound_general(p),
+            counting_cost_bound_round_based(p));
+}
+
+TEST(SpmvBoundTest, TauDefinitionCases) {
+  EXPECT_DOUBLE_EQ(log2_tau(100, 8, 8), 0.0);  // B == delta
+  const double below = log2_tau(100, 16, 8);   // B < delta: 3^{delta N}
+  EXPECT_NEAR(below, 16.0 * 100.0 * std::log2(3.0), 1e-9);
+  const double above = log2_tau(100, 2, 8);  // B > delta: (2eB/delta)^{dN}
+  EXPECT_NEAR(above, 200.0 * std::log2(2.0 * 2.718281828459045 * 4.0), 1e-6);
+}
+
+TEST(SpmvBoundTest, BranchesAndMin) {
+  SpmvParams p{.N = 1 << 16, .delta = 4, .M = 1 << 9, .B = 16, .omega = 4};
+  EXPECT_DOUBLE_EQ(spmv_bound_naive_branch(p), double(p.H()));
+  EXPECT_GT(spmv_bound_sort_branch(p), 0.0);
+  EXPECT_DOUBLE_EQ(spmv_lower_bound(p),
+                   std::min(spmv_bound_naive_branch(p),
+                            spmv_bound_sort_branch(p)));
+}
+
+TEST(SpmvBoundTest, Applicability) {
+  SpmvParams ok{.N = 1 << 22, .delta = 1, .M = 256, .B = 8, .omega = 2};
+  EXPECT_TRUE(spmv_bound_applicable(ok));
+  SpmvParams bad = ok;
+  bad.omega = 1 << 20;  // violates omega delta M B <= N^{1-eps}
+  EXPECT_FALSE(spmv_bound_applicable(bad));
+  SpmvParams small_b = ok;
+  small_b.B = 2;  // violates B > 2
+  EXPECT_FALSE(spmv_bound_applicable(small_b));
+  SpmvParams small_m = ok;
+  small_m.M = 4 * small_m.B;  // violates M > 4B
+  EXPECT_FALSE(spmv_bound_applicable(small_m));
+}
+
+TEST(SpmvBoundTest, UpperBoundsDominateLowerBound) {
+  for (std::uint64_t delta : {1u, 4u, 16u}) {
+    SpmvParams p{.N = 1 << 16, .delta = delta, .M = 1 << 9, .B = 16,
+                 .omega = 4};
+    EXPECT_GE(spmv_naive_upper_bound(p), spmv_bound_naive_branch(p));
+    EXPECT_GE(spmv_sort_upper_bound(p), spmv_bound_sort_branch(p));
+    EXPECT_GE(spmv_upper_bound(p) * 4.0, spmv_lower_bound(p));
+  }
+}
+
+TEST(SpmvBoundTest, DenserMatricesCostMore) {
+  SpmvParams p{.N = 1 << 16, .delta = 1, .M = 1 << 9, .B = 16, .omega = 4};
+  double prev = 0.0;
+  for (std::uint64_t d : {1u, 2u, 4u, 8u}) {
+    p.delta = d;
+    const double b = spmv_lower_bound(p);
+    EXPECT_GT(b, prev) << "delta=" << d;
+    prev = b;
+  }
+}
+
+TEST(SpmvBoundTest, CountingCostBoundPositiveInValidRegime) {
+  SpmvParams p{.N = 1 << 22, .delta = 2, .M = 256, .B = 16, .omega = 2};
+  ASSERT_TRUE(spmv_bound_applicable(p));
+  const double exact = spmv_counting_cost_bound(p);
+  EXPECT_GT(exact, 0.0);
+  // Should be within a moderate factor of the closed-form bound.
+  const double closed = spmv_lower_bound(p);
+  EXPECT_LT(exact / closed, 100.0);
+  EXPECT_GT(exact / closed, 1e-3);
+}
+
+// Property sweep: bound formula sanity over a parameter grid.
+class BoundGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(BoundGridTest, PermuteBoundsWellFormed) {
+  auto [logN, logM, logB, logW] = GetParam();
+  AemParams p{.N = 1ull << logN,
+              .M = 1ull << logM,
+              .B = 1ull << logB,
+              .omega = 1ull << logW};
+  if (p.M < p.B) GTEST_SKIP();
+  const double lb = permute_lower_bound(p);
+  EXPECT_GE(lb, 0.0);
+  EXPECT_TRUE(std::isfinite(lb));
+  EXPECT_LE(lb, double(p.N) + 1e-9);  // min with N
+  // Scaling N by 4 never decreases the bound.
+  AemParams p4 = p;
+  p4.N *= 4;
+  EXPECT_GE(permute_lower_bound(p4), lb - 1e-9);
+}
+
+TEST_P(BoundGridTest, CountingRoundsFinite) {
+  auto [logN, logM, logB, logW] = GetParam();
+  AemParams p{.N = 1ull << logN,
+              .M = 1ull << logM,
+              .B = 1ull << logB,
+              .omega = 1ull << logW};
+  if (p.M < p.B) GTEST_SKIP();
+  const std::uint64_t r = min_rounds_counting(p);
+  EXPECT_LT(r, UINT64_MAX);
+  EXPECT_TRUE(std::isfinite(counting_cost_bound_round_based(p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundGridTest,
+    ::testing::Combine(::testing::Values(12, 16, 20),   // log2 N
+                       ::testing::Values(7, 9, 11),     // log2 M
+                       ::testing::Values(3, 5),         // log2 B
+                       ::testing::Values(0, 2, 6)));    // log2 omega
+
+}  // namespace

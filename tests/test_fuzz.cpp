@@ -1,0 +1,365 @@
+// Randomized property tests ("fuzz"): the streaming primitives, merges and
+// sorts are driven with randomized geometries and inputs and checked
+// against host-side reference models.  Seeds are fixed, so failures are
+// reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "core/trace_io.hpp"
+#include "io/ext_pointer_array.hpp"
+#include "io/scanner.hpp"
+#include "io/writer.hpp"
+#include "permute/transpose.hpp"
+#include "sort/merge.hpp"
+#include "sort/mergesort.hpp"
+#include "sort/samplesort.hpp"
+#include "sort/small_sort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+
+Config cfg(std::size_t M, std::size_t B, std::uint64_t w) {
+  Config c;
+  c.memory_elems = M;
+  c.block_elems = B;
+  c.write_cost = w;
+  return c;
+}
+
+TEST(FuzzScannerWriter, RandomRangesRoundTrip) {
+  util::Rng rng(501);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t B = 1 + rng.below(16);
+    const std::size_t M = 8 * B + rng.below(64);
+    Machine mach(cfg(M, B, 1));
+    const std::size_t n = 1 + rng.below(300);
+    std::vector<std::uint64_t> host(n);
+    for (auto& v : host) v = rng.next();
+    ExtArray<std::uint64_t> arr(mach, n, "a");
+    arr.unsafe_host_fill(host);
+
+    // Random subrange: overwrite through a Writer, mirror on the host.
+    const std::size_t lo = rng.below(n + 1);
+    const std::size_t hi = lo + rng.below(n - lo + 1);
+    {
+      Writer<std::uint64_t> w(arr, lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) {
+        host[i] = rng.next();
+        w.push(host[i]);
+      }
+      w.finish();
+    }
+    // Random subrange scan must agree with the host mirror.
+    const std::size_t slo = rng.below(n + 1);
+    const std::size_t shi = slo + rng.below(n - slo + 1);
+    Scanner<std::uint64_t> sc(arr, slo, shi);
+    for (std::size_t i = slo; i < shi; ++i)
+      ASSERT_EQ(sc.next(), host[i]) << "iter " << iter << " pos " << i;
+    ASSERT_TRUE(sc.done());
+  }
+}
+
+TEST(FuzzScannerWriter, InterleavedWritersPreserveNeighbours) {
+  // Multiple writers with adjacent unaligned ranges flushed in arbitrary
+  // order must never clobber each other's data (the RMW path).
+  util::Rng rng(503);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t B = 2 + rng.below(15);
+    Machine mach(cfg(16 * B, B, 1));
+    const std::size_t n = 4 * B + rng.below(6 * B);
+    std::vector<std::uint64_t> host(n, 7);
+    ExtArray<std::uint64_t> arr(mach, n, "a");
+    arr.unsafe_host_fill(host);
+
+    // Split [0, n) into three consecutive ranges at random cut points.
+    std::size_t c1 = rng.below(n + 1), c2 = rng.below(n + 1);
+    if (c1 > c2) std::swap(c1, c2);
+    std::vector<Writer<std::uint64_t>> writers;
+    writers.emplace_back(arr, 0, c1);
+    writers.emplace_back(arr, c1, c2);
+    writers.emplace_back(arr, c2, n);
+    std::size_t pos[3] = {0, c1, c2};
+    const std::size_t end[3] = {c1, c2, n};
+    // Random round-robin pushes.
+    while (pos[0] < end[0] || pos[1] < end[1] || pos[2] < end[2]) {
+      const std::size_t w = rng.below(3);
+      if (pos[w] >= end[w]) continue;
+      host[pos[w]] = rng.next();
+      writers[w].push(host[pos[w]]);
+      ++pos[w];
+    }
+    for (auto& w : writers) w.finish();
+    ASSERT_EQ(arr.unsafe_host_view(), host) << "iter " << iter;
+  }
+}
+
+TEST(FuzzMerge, RandomRunsAgainstStdMerge) {
+  util::Rng rng(507);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t B = 4 + rng.below(13);
+    const std::size_t M = 8 * B * (1 + rng.below(4));
+    const std::uint64_t w = 1 + rng.below(32);
+    Machine mach(cfg(M, B, w));
+
+    // Random runs with block-aligned begins: lengths multiple of B except
+    // possibly the last, some empty.
+    const std::size_t k = 1 + rng.below(12);
+    std::vector<std::uint64_t> host;
+    std::vector<RunBounds> bounds;
+    for (std::size_t r = 0; r < k; ++r) {
+      std::size_t len = rng.below(8) * B;
+      if (r + 1 == k) len += rng.below(B);  // final partial block
+      std::vector<std::uint64_t> run(len);
+      for (auto& v : run) v = rng.below(1000);  // duplicates likely
+      std::sort(run.begin(), run.end());
+      bounds.push_back(RunBounds{host.size(), host.size() + len});
+      host.insert(host.end(), run.begin(), run.end());
+    }
+    if (host.empty()) continue;
+    ExtArray<std::uint64_t> in(mach, host.size(), "in");
+    in.unsafe_host_fill(host);
+    ExtArray<std::uint64_t> out(mach, host.size(), "out");
+    merge_runs(in, std::span<const RunBounds>(bounds), out, 0,
+               std::less<std::uint64_t>{});
+    auto expect = host;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(out.unsafe_host_view(), expect) << "iter " << iter;
+    ASSERT_LE(mach.ledger().high_water(), M) << "iter " << iter;
+  }
+}
+
+TEST(FuzzMerge, CombineAgainstHostFold) {
+  // Merge with a sum-combiner vs a host map accumulation.
+  util::Rng rng(509);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t B = 8;
+    Machine mach(cfg(128, B, 2));
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<std::uint64_t> host;
+    std::vector<RunBounds> bounds;
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t len = rng.below(6) * B;
+      std::vector<std::uint64_t> keys(len);
+      for (auto& v : keys) v = rng.below(40);
+      std::sort(keys.begin(), keys.end());
+      bounds.push_back(RunBounds{host.size(), host.size() + len});
+      for (auto kk : keys) host.push_back((kk << 32) | 1);
+    }
+    if (host.empty()) continue;
+    ExtArray<std::uint64_t> in(mach, host.size(), "in");
+    in.unsafe_host_fill(host);
+    ExtArray<std::uint64_t> out(mach, host.size(), "out");
+    auto by_key = [](std::uint64_t a, std::uint64_t b) {
+      return (a >> 32) < (b >> 32);
+    };
+    auto add = [](std::uint64_t& acc, const std::uint64_t& x) {
+      acc += x & 0xffffffff;
+    };
+    const std::size_t written = merge_runs(
+        in, std::span<const RunBounds>(bounds), out, 0, by_key, add);
+
+    std::map<std::uint64_t, std::uint64_t> ref;
+    for (auto v : host) ref[v >> 32] += v & 0xffffffff;
+    ASSERT_EQ(written, ref.size()) << "iter " << iter;
+    std::size_t i = 0;
+    for (const auto& [key, count] : ref) {
+      ASSERT_EQ(out.unsafe_host_view()[i] >> 32, key);
+      ASSERT_EQ(out.unsafe_host_view()[i] & 0xffffffff, count);
+      ++i;
+    }
+  }
+}
+
+TEST(FuzzSort, AdversarialShapes) {
+  // Sorted, reverse, organ-pipe, constant, and near-sorted inputs through
+  // all three sorters on a random machine.
+  util::Rng rng(511);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t B = 8 << rng.below(2);
+    const std::size_t M = 16 * B << rng.below(2);
+    const std::uint64_t w = 1 << rng.below(7);
+    const std::size_t n = 512 + rng.below(2048);
+    std::vector<std::vector<std::uint64_t>> shapes;
+    std::vector<std::uint64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = i;
+    shapes.push_back(v);                                   // sorted
+    std::reverse(v.begin(), v.end());
+    shapes.push_back(v);                                   // reverse
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::min(i, n - i);
+    shapes.push_back(v);                                   // organ pipe
+    shapes.push_back(std::vector<std::uint64_t>(n, 42));   // constant
+    for (std::size_t i = 0; i < n; ++i) v[i] = i ^ (rng.below(4));
+    shapes.push_back(v);                                   // near-sorted
+
+    for (const auto& shape : shapes) {
+      auto expect = shape;
+      std::sort(expect.begin(), expect.end());
+      {
+        Machine mach(cfg(M, B, w));
+        ExtArray<std::uint64_t> in(mach, n, "in");
+        in.unsafe_host_fill(shape);
+        ExtArray<std::uint64_t> out(mach, n, "out");
+        aem_merge_sort(in, out);
+        ASSERT_EQ(out.unsafe_host_view(), expect);
+      }
+      {
+        Machine mach(cfg(M, B, w));
+        ExtArray<std::uint64_t> in(mach, n, "in");
+        in.unsafe_host_fill(shape);
+        ExtArray<std::uint64_t> out(mach, n, "out");
+        aem_sample_sort(in, out);
+        ASSERT_EQ(out.unsafe_host_view(), expect);
+      }
+    }
+  }
+}
+
+TEST(FuzzPointerArray, AgainstHostVector) {
+  util::Rng rng(513);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t B = 1 + rng.below(16);
+    Machine mach(cfg(8 * B + 64, B, 2));
+    const std::size_t n = 1 + rng.below(120);
+    ExtPointerArray ptrs(mach, n, "p");
+    std::vector<std::uint64_t> ref(n, 0);
+    for (int op = 0; op < 80; ++op) {
+      const std::size_t i = rng.below(n);
+      switch (rng.below(3)) {
+        case 0: {
+          const std::uint64_t v = rng.next();
+          ptrs.set(i, v);
+          ref[i] = v;
+          break;
+        }
+        case 1:
+          ASSERT_EQ(ptrs.get(i), ref[i]);
+          break;
+        default: {
+          const std::size_t hi = i + rng.below(n - i + 1);
+          ptrs.update_range(i, hi, [&](std::size_t j, std::uint64_t& v) {
+            EXPECT_EQ(v, ref[j]);
+            if (j % 2 == 0) {
+              v += 1;
+              ref[j] += 1;
+              return true;
+            }
+            return false;
+          });
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(ptrs.get(i), ref[i]);
+  }
+}
+
+TEST(TransposeTest, MatchesHostTranspose) {
+  util::Rng rng(517);
+  for (auto [rows, cols] : {std::pair<std::size_t, std::size_t>{16, 64},
+                            {64, 16},
+                            {37, 11},
+                            {1, 128}}) {
+    Machine mach(cfg(256, 16, 8));
+    const std::size_t n = rows * cols;
+    std::vector<std::uint64_t> host(n);
+    for (auto& v : host) v = rng.next();
+    ExtArray<std::uint64_t> in(mach, n, "in");
+    in.unsafe_host_fill(host);
+    ExtArray<std::uint64_t> out(mach, n, "out");
+    transpose_ext(in, rows, cols, out);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        ASSERT_EQ(out.unsafe_host_view()[c * rows + r], host[r * cols + c])
+            << rows << "x" << cols << " at (" << r << "," << c << ")";
+  }
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  Machine mach(cfg(128, 8, 4));
+  util::Rng rng(519);
+  const std::size_t rows = 24, cols = 40;
+  std::vector<std::uint64_t> host(rows * cols);
+  for (auto& v : host) v = rng.next();
+  ExtArray<std::uint64_t> a(mach, host.size(), "a");
+  a.unsafe_host_fill(host);
+  ExtArray<std::uint64_t> b(mach, host.size(), "b");
+  ExtArray<std::uint64_t> c(mach, host.size(), "c");
+  transpose_ext(a, rows, cols, b);
+  transpose_ext(b, cols, rows, c);
+  EXPECT_EQ(c.unsafe_host_view(), host);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  Trace t;
+  IoTicket w = t.add(OpKind::kWrite, 3, 17);
+  t.set_atoms(w, {100, 101, 102});
+  t.add(OpKind::kRead, 3, 17);
+  IoTicket r = t.add(OpKind::kRead, 4, 2);
+  t.mark_used(r, 101);
+  t.mark_used(r, 100);
+
+  std::stringstream ss;
+  write_trace(ss, t);
+  Trace back = read_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.op(i).kind, t.op(i).kind);
+    EXPECT_EQ(back.op(i).array, t.op(i).array);
+    EXPECT_EQ(back.op(i).block, t.op(i).block);
+    EXPECT_EQ(back.op(i).atoms, t.op(i).atoms);
+    EXPECT_EQ(back.op(i).used, t.op(i).used);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream ss("X 0 0\n");
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("R 0\n");
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("R 0 0 a 1 2\n");  // 'a' tag on a read
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("W 0 0 a 1 x\n");  // non-numeric id
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("# only comments\n\n");
+    EXPECT_EQ(read_trace(ss).size(), 0u);
+  }
+}
+
+TEST(TraceIoTest, RealTraceRoundTrips) {
+  Machine mach(cfg(128, 8, 4));
+  util::Rng rng(523);
+  const std::size_t N = 512;
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(util::distinct_keys(N, rng));
+  in.set_atom_extractor([](const std::uint64_t& v) { return v; });
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  out.set_atom_extractor([](const std::uint64_t& v) { return v; });
+  mach.enable_trace();
+  aem_merge_sort(in, out);
+  auto trace = mach.take_trace();
+
+  std::stringstream ss;
+  write_trace(ss, *trace);
+  Trace back = read_trace(ss);
+  EXPECT_EQ(back.size(), trace->size());
+  EXPECT_EQ(back.cost(4), trace->cost(4));
+  EXPECT_EQ(back.stats(), trace->stats());
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for rounds/: the Section 4 round decomposition and the Lemma 4.1
+// round-based rewrite — structure validity and the constant cost factor,
+// on synthetic traces and on real recorded programs.
+#include <gtest/gtest.h>
+
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "permute/permutation.hpp"
+#include "permute/sort_permute.hpp"
+#include "rounds/rounds.hpp"
+#include "sort/mergesort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::rounds;
+
+Trace synthetic_trace(std::size_t reads, std::size_t writes) {
+  Trace t;
+  for (std::size_t i = 0; i < reads; ++i)
+    t.add(OpKind::kRead, 0, i % 7);
+  for (std::size_t i = 0; i < writes; ++i)
+    t.add(OpKind::kWrite, 1, i % 5);
+  return t;
+}
+
+TEST(SplitRoundsTest, RespectsBudgetAndLowerWindow) {
+  Trace t = synthetic_trace(100, 30);
+  const std::size_t m = 4;
+  const std::uint64_t omega = 3;
+  auto rounds = split_rounds(t, m, omega);
+  EXPECT_TRUE(validate_rounds(t, rounds, m, omega, /*check_lower=*/true));
+  // Total cost preserved.
+  std::uint64_t total = 0;
+  for (const auto& r : rounds) total += r.cost;
+  EXPECT_EQ(total, t.cost(omega));
+}
+
+TEST(SplitRoundsTest, EmptyAndTinyTraces) {
+  Trace empty;
+  auto r0 = split_rounds(empty, 4, 2);
+  EXPECT_TRUE(validate_rounds(empty, r0, 4, 2));
+  Trace one;
+  one.add(OpKind::kWrite, 0, 0);
+  auto r1 = split_rounds(one, 4, 2);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].cost, 2u);
+}
+
+TEST(SplitRoundsTest, SingleOpPerRoundWhenMIsOne) {
+  // m = 1: a round holds cost <= omega, so each write is its own round.
+  Trace t = synthetic_trace(0, 5);
+  auto rounds = split_rounds(t, 1, 4);
+  EXPECT_EQ(rounds.size(), 5u);
+  EXPECT_TRUE(validate_rounds(t, rounds, 1, 4));
+}
+
+TEST(SplitRoundsTest, ValidatorCatchesCorruption) {
+  Trace t = synthetic_trace(20, 5);
+  auto rounds = split_rounds(t, 4, 2);
+  ASSERT_GE(rounds.size(), 2u);
+  auto bad = rounds;
+  bad[0].cost += 1;  // wrong cost
+  EXPECT_FALSE(validate_rounds(t, bad, 4, 2));
+  bad = rounds;
+  bad.pop_back();  // incomplete coverage
+  EXPECT_FALSE(validate_rounds(t, bad, 4, 2));
+  EXPECT_FALSE(validate_rounds(t, rounds, 2, 2));  // tighter budget violated
+}
+
+TEST(MakeRoundBasedTest, SyntheticCostFactorBounded) {
+  Trace t = synthetic_trace(200, 50);
+  const std::size_t m = 8;
+  const std::uint64_t omega = 4;
+  auto rb = make_round_based(t, m, omega);
+  EXPECT_EQ(rb.original_cost, t.cost(omega));
+  // Lemma 4.1: constant-factor increase.  Our rewrite adds at most m state
+  // reads + m state writes per round against rounds of cost ~omega*(m-1):
+  // factor <= 1 + (m + omega*m)/(omega*(m-1)) ~ 2 + 1/omega + slack.
+  EXPECT_LE(rb.cost_factor(), 3.5);
+  EXPECT_GE(rb.cost_factor(), 1.0 - 1e-9);
+  // P' is round-based on a 2M machine: upper window must hold.
+  EXPECT_TRUE(validate_rounds(rb.trace, rb.rounds, 2 * m, omega,
+                              /*check_lower=*/false));
+}
+
+TEST(MakeRoundBasedTest, ReReadsServedFromBuffer) {
+  // P writes block X then reads it twice in the same round: P' should keep
+  // it in M'' and never re-read it from external memory.
+  Trace t;
+  t.add(OpKind::kWrite, 0, 7);
+  t.add(OpKind::kRead, 0, 7);
+  t.add(OpKind::kRead, 0, 7);
+  auto rb = make_round_based(t, /*m=*/8, /*omega=*/2);
+  EXPECT_EQ(rb.transformed.reads, 0u);
+  EXPECT_EQ(rb.transformed.writes, 1u);
+}
+
+TEST(MakeRoundBasedTest, DuplicateWritesCollapse) {
+  Trace t;
+  t.add(OpKind::kWrite, 0, 3);
+  t.add(OpKind::kWrite, 0, 3);
+  t.add(OpKind::kWrite, 0, 3);
+  auto rb = make_round_based(t, 8, 2);
+  EXPECT_EQ(rb.transformed.writes, 1u);
+}
+
+TEST(MakeRoundBasedTest, StateIoAppearsBetweenRounds) {
+  // A trace long enough for several rounds must persist/reload state.
+  Trace t = synthetic_trace(300, 100);
+  const std::size_t m = 4;
+  auto rb = make_round_based(t, m, 2);
+  std::size_t state_reads = 0, state_writes = 0;
+  for (const auto& op : rb.trace.ops()) {
+    if (op.array != kStateArray) continue;
+    if (op.kind == OpKind::kRead) {
+      ++state_reads;
+    } else {
+      ++state_writes;
+    }
+  }
+  EXPECT_GT(state_writes, 0u);
+  EXPECT_EQ(state_reads, state_writes);  // every persisted image reloaded
+  EXPECT_EQ(state_reads % m, 0u);
+}
+
+TEST(MakeRoundBasedTest, RealSortTraceFactor) {
+  // Record a real mergesort and verify the Lemma 4.1 factor is a small
+  // constant on it too.
+  Config cfg;
+  cfg.memory_elems = 128;
+  cfg.block_elems = 8;
+  cfg.write_cost = 4;
+  Machine mach(cfg);
+  util::Rng rng(87);
+  const std::size_t N = 4096;
+  auto keys = util::random_keys(N, rng);
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(keys);
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  mach.enable_trace();
+  aem_merge_sort(in, out);
+  auto trace = mach.take_trace();
+  ASSERT_NE(trace, nullptr);
+  auto rb = make_round_based(*trace, mach.m(), mach.omega());
+  EXPECT_LE(rb.cost_factor(), 3.5) << "factor=" << rb.cost_factor();
+  EXPECT_TRUE(validate_rounds(rb.trace, rb.rounds, 2 * mach.m(), mach.omega(),
+                              false));
+}
+
+TEST(MakeRoundBasedTest, RealPermuteTraceFactor) {
+  Config cfg;
+  cfg.memory_elems = 128;
+  cfg.block_elems = 8;
+  cfg.write_cost = 8;
+  Machine mach(cfg);
+  util::Rng rng(89);
+  const std::size_t N = 2048;
+  auto dest = perm::random(N, rng);
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(util::distinct_keys(N, rng));
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  mach.enable_trace();
+  sort_permute(in, std::span<const std::uint64_t>(dest), out);
+  auto trace = mach.take_trace();
+  auto rb = make_round_based(*trace, mach.m(), mach.omega());
+  EXPECT_LE(rb.cost_factor(), 3.5) << "factor=" << rb.cost_factor();
+}
+
+}  // namespace

@@ -1,0 +1,469 @@
+// Tests for spmv/: semiring algebra, conformation generators, the naive and
+// sorting-based SpMxV programs (correctness over several semirings +
+// Section 5 cost branches), and the dispatcher.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/spmv_bounds.hpp"
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "spmv/dispatch.hpp"
+#include "spmv/matrix.hpp"
+#include "spmv/naive.hpp"
+#include "spmv/semiring.hpp"
+#include "spmv/sort_spmv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::spmv;
+
+Config cfg(std::size_t M, std::size_t B, std::uint64_t w) {
+  Config c;
+  c.memory_elems = M;
+  c.block_elems = B;
+  c.write_cost = w;
+  return c;
+}
+
+/// Host reference: y = A (x) x over semiring s.
+template <Semiring S>
+std::vector<typename S::Value> host_spmv(const Conformation& conf,
+                                         const std::vector<typename S::Value>& vals,
+                                         const std::vector<typename S::Value>& x,
+                                         S s) {
+  std::vector<typename S::Value> y(conf.n(), s.zero());
+  const auto& coords = conf.coords();
+  for (std::size_t e = 0; e < coords.size(); ++e)
+    y[coords[e].row] =
+        s.add(y[coords[e].row], s.mul(vals[e], x[coords[e].col]));
+  return y;
+}
+
+TEST(SemiringTest, PlusTimesAxioms) {
+  PlusTimes s;
+  EXPECT_DOUBLE_EQ(s.add(s.zero(), 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(s.mul(s.one(), 3.5), 3.5);
+  EXPECT_DOUBLE_EQ(s.mul(s.zero(), 3.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.add(1.5, 2.0), 3.5);
+}
+
+TEST(SemiringTest, MinPlusAxioms) {
+  MinPlus s;
+  EXPECT_DOUBLE_EQ(s.add(s.zero(), 3.5), 3.5);   // min(inf, x) = x
+  EXPECT_DOUBLE_EQ(s.mul(s.one(), 3.5), 3.5);    // 0 + x = x
+  EXPECT_DOUBLE_EQ(s.add(2.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.mul(2.0, 5.0), 7.0);
+  EXPECT_TRUE(std::isinf(s.mul(s.zero(), 3.0)));  // inf annihilates
+}
+
+TEST(SemiringTest, BoolOrAxioms) {
+  BoolOr s;
+  EXPECT_EQ(s.add(0, 1), 1);
+  EXPECT_EQ(s.mul(1, 1), 1);
+  EXPECT_EQ(s.mul(0, 1), 0);
+  EXPECT_EQ(s.add(s.zero(), 0), 0);
+}
+
+TEST(ConformationTest, DeltaRegularShape) {
+  util::Rng rng(3);
+  auto conf = Conformation::delta_regular(64, 4, rng);
+  EXPECT_EQ(conf.nnz(), 256u);
+  EXPECT_EQ(conf.delta(), 4u);
+  // Exactly 4 per column, distinct rows, sorted.
+  std::vector<int> per_col(64, 0);
+  for (const auto& c : conf.coords()) ++per_col[c.col];
+  for (int cnt : per_col) EXPECT_EQ(cnt, 4);
+}
+
+TEST(ConformationTest, DeltaRegularRowsAreSpread) {
+  // Uniformly chosen rows should touch most of the matrix.
+  util::Rng rng(5);
+  auto conf = Conformation::delta_regular(256, 2, rng);
+  std::vector<bool> seen(256, false);
+  for (const auto& c : conf.coords()) seen[c.row] = true;
+  std::size_t hit = 0;
+  for (bool b : seen) hit += b;
+  EXPECT_GT(hit, 200u);  // 512 uniform draws over 256 rows
+}
+
+TEST(ConformationTest, BandedAndBlockDiagonal) {
+  auto band = Conformation::banded(16, 1);
+  for (const auto& c : band.coords())
+    EXPECT_LE(std::abs(int(c.row) - int(c.col)), 1);
+  EXPECT_EQ(band.nnz(), 16u * 3 - 2);
+
+  auto blocks = Conformation::block_diagonal(16, 4);
+  EXPECT_EQ(blocks.nnz(), 16u * 4);
+  for (const auto& c : blocks.coords()) EXPECT_EQ(c.row / 4, c.col / 4);
+}
+
+TEST(ConformationTest, RejectsBadCoordinates) {
+  EXPECT_THROW(Conformation(4, {{5, 0}}), std::invalid_argument);
+  EXPECT_THROW(Conformation(4, {{1, 0}, {0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Conformation(4, {{1, 0}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(Conformation::delta_regular(4, 5, *(new util::Rng(1))),
+               std::invalid_argument);
+}
+
+class SpmvProgramTest : public ::testing::TestWithParam<int> {
+ protected:
+  template <Semiring S>
+  void run_and_check(S s, std::uint64_t N, std::uint64_t delta,
+                     std::size_t M, std::size_t B, std::uint64_t w) {
+    using V = typename S::Value;
+    const bool use_sort = GetParam() == 1;
+    Machine mach(cfg(M, B, w));
+    util::Rng rng(97 + N + delta);
+    auto conf = Conformation::delta_regular(N, delta, rng);
+
+    std::vector<V> vals(conf.nnz());
+    for (auto& v : vals) v = static_cast<V>(1 + rng.below(7));
+    std::size_t vi = 0;
+    SparseMatrix<V> A(mach, conf, [&](Coord) { return vals[vi++]; });
+
+    std::vector<V> xs(N);
+    for (auto& v : xs) v = static_cast<V>(1 + rng.below(5));
+    ExtArray<V> x(mach, N, "x");
+    x.unsafe_host_fill(xs);
+    ExtArray<V> y(mach, N, "y");
+
+    if (use_sort) {
+      sort_spmv(A, x, y, s);
+    } else {
+      naive_spmv(A, x, y, s);
+    }
+    auto expect = host_spmv(A.conformation(), vals, xs, s);
+    ASSERT_EQ(y.unsafe_host_view().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      ASSERT_EQ(y.unsafe_host_view()[i], expect[i]) << "row " << i;
+    EXPECT_LE(mach.ledger().high_water(), M);
+  }
+};
+
+TEST_P(SpmvProgramTest, PlusTimesCorrect) {
+  run_and_check(PlusTimes{}, 256, 4, 256, 16, 4);
+}
+
+TEST_P(SpmvProgramTest, CountingCorrect) {
+  run_and_check(Counting{}, 512, 3, 128, 8, 8);
+}
+
+TEST_P(SpmvProgramTest, MinPlusCorrect) {
+  run_and_check(MinPlus{}, 128, 8, 256, 16, 2);
+}
+
+TEST_P(SpmvProgramTest, BoolOrCorrect) {
+  run_and_check(BoolOr{}, 512, 2, 128, 8, 1);
+}
+
+TEST_P(SpmvProgramTest, DenseColumnCorrect) {
+  run_and_check(PlusTimes{}, 64, 64, 256, 16, 4);  // fully dense
+}
+
+TEST_P(SpmvProgramTest, SparsestCorrect) {
+  run_and_check(PlusTimes{}, 1024, 1, 128, 8, 16);  // one entry per column
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, SpmvProgramTest, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? std::string("naive")
+                                                  : std::string("sort");
+                         });
+
+TEST(SpmvCostTest, NaiveWithinBranchBound) {
+  const std::uint64_t N = 1024, delta = 4;
+  Machine mach(cfg(256, 16, 8));
+  util::Rng rng(111);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x(mach, N, "x");
+  x.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y(mach, N, "y");
+  mach.reset_stats();
+  naive_spmv(A, x, y, PlusTimes{});
+  const auto p = spmv_params(mach, N, delta);
+  // <= 2H reads (A + x per entry) + n writes.
+  EXPECT_LE(mach.stats().reads, 2 * p.H());
+  EXPECT_EQ(mach.stats().writes, p.n());
+}
+
+TEST(SpmvCostTest, SortWithinBranchBound) {
+  const std::uint64_t N = 4096, delta = 4;
+  Machine mach(cfg(256, 16, 4));
+  util::Rng rng(113);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x(mach, N, "x");
+  x.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y(mach, N, "y");
+  mach.reset_stats();
+  sort_spmv(A, x, y, PlusTimes{});
+  const auto p = spmv_params(mach, N, delta);
+  EXPECT_LE(double(mach.cost()), 60.0 * bounds::spmv_sort_upper_bound(p))
+      << "cost=" << mach.cost()
+      << " bound=" << bounds::spmv_sort_upper_bound(p);
+  // Phases were attributed.
+  EXPECT_TRUE(mach.phase_stats().count("spmv.products"));
+  EXPECT_TRUE(mach.phase_stats().count("spmv.merge"));
+  EXPECT_TRUE(mach.phase_stats().count("spmv.densify"));
+}
+
+TEST(SpmvCostTest, SortBeatsNaivePerEntryWhenDense) {
+  // With large B and moderate omega, sorting's block-granular movement
+  // beats element-granular gathering.
+  const std::uint64_t N = 4096, delta = 8;
+  util::Rng rng(117);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+
+  Machine m1(cfg(4096, 64, 1));
+  SparseMatrix<double> A1(m1, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x1(m1, N, "x");
+  x1.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y1(m1, N, "y");
+  m1.reset_stats();
+  naive_spmv(A1, x1, y1, PlusTimes{});
+  const auto naive_cost = m1.cost();
+
+  Machine m2(cfg(4096, 64, 1));
+  SparseMatrix<double> A2(m2, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x2(m2, N, "x");
+  x2.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y2(m2, N, "y");
+  m2.reset_stats();
+  sort_spmv(A2, x2, y2, PlusTimes{});
+  const auto sort_cost = m2.cost();
+
+  EXPECT_LT(sort_cost, naive_cost)
+      << "sort=" << sort_cost << " naive=" << naive_cost;
+}
+
+TEST(SpmvCostTest, NaiveBeatsSortAtHugeOmega) {
+  // When writes are extremely expensive, even one sorting pass loses to
+  // the O(H + omega n) gather.
+  const std::uint64_t N = 2048, delta = 2;
+  util::Rng rng(119);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+
+  Machine m1(cfg(128, 8, 4096));
+  SparseMatrix<double> A1(m1, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x1(m1, N, "x");
+  x1.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y1(m1, N, "y");
+  m1.reset_stats();
+  naive_spmv(A1, x1, y1, PlusTimes{});
+  const auto naive_cost = m1.cost();
+
+  Machine m2(cfg(128, 8, 4096));
+  SparseMatrix<double> A2(m2, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x2(m2, N, "x");
+  x2.unsafe_host_fill(std::vector<double>(N, 1.0));
+  ExtArray<double> y2(m2, N, "y");
+  m2.reset_stats();
+  sort_spmv(A2, x2, y2, PlusTimes{});
+  const auto sort_cost = m2.cost();
+
+  EXPECT_LT(naive_cost, sort_cost);
+}
+
+TEST(SpmvDispatchTest, MatchesPrediction) {
+  Machine hi_omega(cfg(128, 8, 4096));
+  EXPECT_EQ(choose_spmv_strategy(hi_omega, 2048, 2), SpmvStrategy::kNaive);
+  Machine symmetric(cfg(4096, 64, 1));
+  EXPECT_EQ(choose_spmv_strategy(symmetric, 4096, 8),
+            SpmvStrategy::kSortBased);
+}
+
+TEST(SpmvDispatchTest, RunsAndIsCorrect) {
+  const std::uint64_t N = 512, delta = 3;
+  Machine mach(cfg(256, 16, 8));
+  util::Rng rng(121);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  std::vector<double> vals(conf.nnz(), 2.0);
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 2.0; });
+  std::vector<double> xs(N, 3.0);
+  ExtArray<double> x(mach, N, "x");
+  x.unsafe_host_fill(xs);
+  ExtArray<double> y(mach, N, "y");
+  multiply(A, x, y, PlusTimes{});
+  auto expect = host_spmv(conf, vals, xs, PlusTimes{});
+  for (std::size_t i = 0; i < N; ++i)
+    EXPECT_DOUBLE_EQ(y.unsafe_host_view()[i], expect[i]);
+}
+
+TEST(SpmvEdgeTest, EmptyMatrixYieldsZeroVector) {
+  // A conformation with no non-zeros: both programs must produce the
+  // all-zeros (semiring zero) vector without faulting.
+  Machine mach(cfg(256, 16, 2));
+  Conformation conf(32, {});
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x(mach, 32, "x");
+  x.unsafe_host_fill(std::vector<double>(32, 3.0));
+  for (bool use_sort : {false, true}) {
+    ExtArray<double> y(mach, 32, "y");
+    if (use_sort) {
+      sort_spmv(A, x, y, PlusTimes{});
+    } else {
+      naive_spmv(A, x, y, PlusTimes{});
+    }
+    for (double v : y.unsafe_host_view()) ASSERT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(SpmvEdgeTest, BandedMatrixCorrect) {
+  Machine mach(cfg(256, 16, 4));
+  auto conf = Conformation::banded(64, 2);
+  std::vector<double> vals;
+  util::Rng rng(151);
+  SparseMatrix<double> A(mach, conf, [&](Coord) {
+    vals.push_back(1.0 + double(rng.below(5)));
+    return vals.back();
+  });
+  std::vector<double> xs(64);
+  for (auto& v : xs) v = 1.0 + double(rng.below(3));
+  ExtArray<double> x(mach, 64, "x");
+  x.unsafe_host_fill(xs);
+  ExtArray<double> y(mach, 64, "y");
+  sort_spmv(A, x, y, PlusTimes{});
+  auto expect = host_spmv(conf, vals, xs, PlusTimes{});
+  for (std::size_t i = 0; i < 64; ++i)
+    ASSERT_DOUBLE_EQ(y.unsafe_host_view()[i], expect[i]);
+}
+
+TEST(SpmvEdgeTest, BlockDiagonalCorrect) {
+  Machine mach(cfg(256, 16, 4));
+  auto conf = Conformation::block_diagonal(64, 8);
+  std::vector<double> vals(conf.nnz(), 2.0);
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 2.0; });
+  std::vector<double> xs(64, 1.0);
+  ExtArray<double> x(mach, 64, "x");
+  x.unsafe_host_fill(xs);
+  ExtArray<double> y(mach, 64, "y");
+  naive_spmv(A, x, y, PlusTimes{});
+  // Every row has 8 entries of value 2 -> y_i = 16.
+  for (double v : y.unsafe_host_view()) ASSERT_DOUBLE_EQ(v, 16.0);
+}
+
+TEST(LayoutTest, ReorderedPreservesStructure) {
+  util::Rng rng(131);
+  auto col = Conformation::delta_regular(64, 3, rng);
+  auto row = col.reordered(Layout::kRowMajor);
+  EXPECT_EQ(row.layout(), Layout::kRowMajor);
+  EXPECT_EQ(row.nnz(), col.nnz());
+  // Same coordinate multiset.
+  auto a = col.coords();
+  auto b = row.coords();
+  auto key = [](const Coord& c) {
+    return (std::uint64_t(c.row) << 32) | c.col;
+  };
+  std::sort(a.begin(), a.end(),
+            [&](const Coord& x, const Coord& y) { return key(x) < key(y); });
+  std::sort(b.begin(), b.end(),
+            [&](const Coord& x, const Coord& y) { return key(x) < key(y); });
+  EXPECT_EQ(a, b);
+  // Round trip.
+  auto back = row.reordered(Layout::kColumnMajor);
+  EXPECT_EQ(back.coords(), col.coords());
+}
+
+TEST(LayoutTest, ValidationFollowsDeclaredLayout) {
+  // Row-major sorted coords are invalid as column-major and vice versa.
+  std::vector<Coord> row_sorted{{0, 1}, {1, 0}};
+  EXPECT_NO_THROW(Conformation(2, row_sorted, Layout::kRowMajor));
+  EXPECT_THROW(Conformation(2, row_sorted, Layout::kColumnMajor),
+               std::invalid_argument);
+}
+
+TEST(LayoutTest, SortSpmvRejectsRowMajor) {
+  Machine mach(cfg(256, 16, 2));
+  util::Rng rng(133);
+  auto conf =
+      Conformation::delta_regular(64, 2, rng).reordered(Layout::kRowMajor);
+  SparseMatrix<double> A(mach, conf, [](Coord) { return 1.0; });
+  ExtArray<double> x(mach, 64, "x");
+  x.unsafe_host_fill(std::vector<double>(64, 1.0));
+  ExtArray<double> y(mach, 64, "y");
+  EXPECT_THROW(sort_spmv(A, x, y, PlusTimes{}), std::invalid_argument);
+}
+
+TEST(LayoutTest, RowMajorGatherIsScanCheap) {
+  // In row-major layout with the implicit all-ones vector, the direct
+  // program reads each matrix block ~once: cost ~ h + omega*n.
+  const std::uint64_t N = 2048, delta = 4;
+  util::Rng rng(137);
+  auto conf =
+      Conformation::delta_regular(N, delta, rng).reordered(Layout::kRowMajor);
+  Machine mach(cfg(256, 16, 4));
+  SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
+  ExtArray<std::uint64_t> y(mach, N, "y");
+  mach.reset_stats();
+  naive_row_sums(A, y, Counting{});
+  const auto p = spmv_params(mach, N, delta);
+  EXPECT_LE(mach.stats().reads, 2 * p.h());  // near-scan, not per-entry
+  EXPECT_EQ(mach.stats().writes, p.n());
+}
+
+TEST(RowSumsTest, BothProgramsComputeDegrees) {
+  const std::uint64_t N = 1024, delta = 3;
+  util::Rng rng(139);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  std::vector<std::uint64_t> degree(N, 0);
+  for (const auto& c : conf.coords()) ++degree[c.row];
+
+  for (bool use_sort : {false, true}) {
+    Machine mach(cfg(256, 16, 4));
+    SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
+    ExtArray<std::uint64_t> y(mach, N, "y");
+    if (use_sort) {
+      sort_row_sums(A, y, Counting{});
+    } else {
+      naive_row_sums(A, y, Counting{});
+    }
+    for (std::size_t i = 0; i < N; ++i)
+      ASSERT_EQ(y.unsafe_host_view()[i], degree[i])
+          << "sort=" << use_sort << " row " << i;
+  }
+}
+
+TEST(RowSumsTest, NoVectorReadsCharged) {
+  // The row-sums programs never allocate or read an x array: their whole
+  // read volume is attributable to A (plus merge traffic for the sorter).
+  const std::uint64_t N = 1024, delta = 2;
+  util::Rng rng(141);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  Machine mach(cfg(256, 16, 4));
+  SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
+  ExtArray<std::uint64_t> y(mach, N, "y");
+  mach.reset_stats();
+  naive_row_sums(A, y, Counting{});
+  const auto p = spmv_params(mach, N, delta);
+  EXPECT_LE(mach.stats().reads, p.H());  // <= one read per entry, no x term
+}
+
+TEST(SpmvTest, AllOnesVectorComputesRowDegrees) {
+  // The Theorem 5.1 hard instance: A delta-regular, x = all ones, Counting
+  // semiring -> y_i = (number of entries in row i).
+  const std::uint64_t N = 512, delta = 4;
+  Machine mach(cfg(256, 16, 4));
+  util::Rng rng(123);
+  auto conf = Conformation::delta_regular(N, delta, rng);
+  SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
+  ExtArray<std::uint64_t> x(mach, N, "x");
+  x.unsafe_host_fill(std::vector<std::uint64_t>(N, 1));
+  ExtArray<std::uint64_t> y(mach, N, "y");
+  sort_spmv(A, x, y, Counting{});
+
+  std::vector<std::uint64_t> degree(N, 0);
+  for (const auto& c : conf.coords()) ++degree[c.row];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    EXPECT_EQ(y.unsafe_host_view()[i], degree[i]);
+    total += y.unsafe_host_view()[i];
+  }
+  EXPECT_EQ(total, N * delta);
+}
+
+}  // namespace
