@@ -23,22 +23,26 @@ using namespace aem::spmv;
 // Both programs run in the Theorem 5.1 hard setting: multiply by the
 // implicit all-ones vector (row sums) — no x reads.
 std::uint64_t run_naive(const Conformation& conf, std::size_t M,
-                        std::size_t B, std::uint64_t w) {
+                        std::size_t B, std::uint64_t w,
+                        const std::string& metrics, const std::string& label) {
   Machine mach(make_config(M, B, w));
   SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
   ExtArray<std::uint64_t> y(mach, conf.n(), "y");
   mach.reset_stats();
   naive_row_sums(A, y, Counting{});
+  emit_metrics(mach, label, metrics);
   return mach.cost();
 }
 
 std::uint64_t run_sort(const Conformation& conf, std::size_t M, std::size_t B,
-                       std::uint64_t w) {
+                       std::uint64_t w, const std::string& metrics,
+                       const std::string& label) {
   Machine mach(make_config(M, B, w));
   SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
   ExtArray<std::uint64_t> y(mach, conf.n(), "y");
   mach.reset_stats();
   sort_row_sums(A, y, Counting{});
+  emit_metrics(mach, label, metrics);
   return mach.cost();
 }
 
@@ -47,6 +51,7 @@ std::uint64_t run_sort(const Conformation& conf, std::size_t M, std::size_t B,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   util::Rng rng(cli.u64("seed", 11));
 
   banner("A1 (ablation)",
@@ -61,9 +66,14 @@ int main(int argc, char** argv) {
       const std::uint64_t N = 1 << 13;
       auto col = Conformation::delta_regular(N, delta, rng);
       auto row = col.reordered(Layout::kRowMajor);
-      const auto naive_col = run_naive(col, M, B, w);
-      const auto naive_row = run_naive(row, M, B, w);
-      const auto sort_col = run_sort(col, M, B, w);
+      const std::string tag = " delta=" + std::to_string(delta) +
+                              " omega=" + std::to_string(w);
+      const auto naive_col = run_naive(col, M, B, w, metrics,
+                                       "A1 naive colmajor" + tag);
+      const auto naive_row = run_naive(row, M, B, w, metrics,
+                                       "A1 naive rowmajor" + tag);
+      const auto sort_col = run_sort(col, M, B, w, metrics,
+                                     "A1 sort colmajor" + tag);
       const std::uint64_t best_col = std::min(naive_col, sort_col);
       t.add_row({util::fmt(N), util::fmt(delta), util::fmt(w),
                  util::fmt(naive_col), util::fmt(naive_row),

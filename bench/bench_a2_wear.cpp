@@ -24,7 +24,8 @@ using namespace aem::bench;
 
 template <class F>
 void run_case(const char* name, std::size_t N, std::size_t M, std::size_t B,
-              std::uint64_t w, F&& body, util::Table& t, util::Rng& rng) {
+              std::uint64_t w, F&& body, util::Table& t, util::Rng& rng,
+              const std::string& metrics) {
   Machine mach(make_config(M, B, w));
   mach.enable_wear_tracking();
   auto keys = util::random_keys(N, rng);
@@ -33,6 +34,7 @@ void run_case(const char* name, std::size_t N, std::size_t M, std::size_t B,
   ExtArray<std::uint64_t> out(mach, N, "out");
   mach.reset_stats();
   body(in, out, rng);
+  emit_metrics(mach, std::string("A2 ") + name, metrics);
   const auto ws = mach.wear_stats();
   t.add_row({name, util::fmt(mach.stats().writes), util::fmt(ws.blocks_written),
              util::fmt(ws.mean_writes, 2), util::fmt(ws.max_writes),
@@ -44,6 +46,7 @@ void run_case(const char* name, std::size_t N, std::size_t M, std::size_t B,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   util::Rng rng(cli.u64("seed", 12));
 
   banner("A2 (ablation)",
@@ -57,33 +60,33 @@ int main(int argc, char** argv) {
   run_case(
       "aem_mergesort", N, M, B, w,
       [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
-      rng);
+      rng, metrics);
   run_case(
       "em_mergesort", N, M, B, w,
       [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
-      rng);
+      rng, metrics);
   run_case(
       "samplesort", N, M, B, w,
       [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
-      rng);
+      rng, metrics);
   run_case(
       "heapsort(pq)", N, M, B, w,
       [](auto& in, auto& out, util::Rng&) { aem_heap_sort(in, out); }, t,
-      rng);
+      rng, metrics);
   run_case(
       "naive_permute", N, M, B, w,
       [](auto& in, auto& out, util::Rng& r) {
         auto dest = perm::random(in.size(), r);
         naive_permute(in, std::span<const std::uint64_t>(dest), out);
       },
-      t, rng);
+      t, rng, metrics);
   run_case(
       "sort_permute", N, M, B, w,
       [](auto& in, auto& out, util::Rng& r) {
         auto dest = perm::random(in.size(), r);
         sort_permute(in, std::span<const std::uint64_t>(dest), out);
       },
-      t, rng);
+      t, rng, metrics);
   emit(t, "Wear profile at N=2^14, M=256, B=16, omega=8:", csv);
 
   std::cout

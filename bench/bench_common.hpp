@@ -15,6 +15,7 @@
 #include "core/config.hpp"
 #include "core/ext_array.hpp"
 #include "core/machine.hpp"
+#include "core/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -59,6 +60,23 @@ inline void emit(const util::Table& t, const std::string& title,
     os << "# " << title << "\n";
     t.print_csv(os);
   }
+}
+
+/// Appends one machine-metrics JSON snapshot (one line, schema
+/// aem.machine.metrics/v1) to `path`.  Like emit(), the first use of a path
+/// in a run truncates the file, so re-running a bench replaces its metrics
+/// log instead of growing it.  No-op when `path` is empty, so benches can
+/// call it unconditionally and let --metrics=FILE opt in.
+inline void emit_metrics(const Machine& mach, const std::string& label,
+                         const std::string& path) {
+  if (path.empty()) return;
+  static std::vector<std::string> seen;
+  const bool first =
+      std::find(seen.begin(), seen.end(), path) == seen.end();
+  if (first) seen.push_back(path);
+  std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
+  write_json(os, snapshot_metrics(mach, label));
+  os << "\n";
 }
 
 }  // namespace aem::bench

@@ -24,7 +24,8 @@ struct Row {
   std::uint64_t omega;
 };
 
-void run_case(const Row& r, util::Table& table, util::Rng& rng) {
+void run_case(const Row& r, util::Table& table, util::Rng& rng,
+              const std::string& metrics) {
   Machine mach(make_config(r.M, r.B, r.omega));
   const SortBudget budget = SortBudget::from(mach);
 
@@ -47,6 +48,12 @@ void run_case(const Row& r, util::Table& table, util::Rng& rng) {
   merge_runs(in, std::span<const RunBounds>(runs), out, 0,
              std::less<std::uint64_t>{});
 
+  emit_metrics(mach,
+               "E1 N=" + std::to_string(host.size()) +
+                   " M=" + std::to_string(r.M) + " B=" + std::to_string(r.B) +
+                   " omega=" + std::to_string(r.omega),
+               metrics);
+
   bounds::AemParams p{.N = host.size(), .M = r.M, .B = r.B, .omega = r.omega};
   const double read_bound = bounds::aem_merge_read_bound(p);
   const double write_bound = bounds::aem_merge_write_bound(p);
@@ -63,6 +70,7 @@ void run_case(const Row& r, util::Table& table, util::Rng& rng) {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 1));
 
@@ -75,7 +83,7 @@ int main(int argc, char** argv) {
     const std::size_t n_max = full ? (1u << 19) : (1u << 17);
     for (std::size_t N = 1 << 14; N <= n_max; N <<= 1)
       for (std::uint64_t w : {1, 4, 16, 64})
-        run_case({N, 256, 16, w}, t, rng);
+        run_case({N, 256, 16, w}, t, rng, metrics);
     emit(t, "Scaling in N and omega (M=256, B=16):", csv);
   }
 
@@ -83,7 +91,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "runs", "reads", "writes",
                    "reads/bound", "writes/bound"});
     for (std::uint64_t w : {1, 2, 8, 16, 32, 64, 128, 256})
-      run_case({1 << 16, 128, 16, w}, t, rng);
+      run_case({1 << 16, 128, 16, w}, t, rng, metrics);
     emit(t,
          "Crossing omega = B = 16 (the regime the paper's merge newly "
          "covers):",
@@ -95,7 +103,7 @@ int main(int argc, char** argv) {
                    "reads/bound", "writes/bound"});
     for (std::size_t M : {128, 256, 512, 1024})
       for (std::size_t B : {8, 16})
-        run_case({1 << 16, M, B, 16}, t, rng);
+        run_case({1 << 16, M, B, 16}, t, rng, metrics);
     emit(t, "Machine-shape sweep (N=2^16, omega=16):", csv);
   }
 

@@ -17,12 +17,17 @@ using namespace aem;
 using namespace aem::bench;
 
 void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Table& t, util::Rng& rng) {
+              util::Table& t, util::Rng& rng, const std::string& metrics) {
   Machine mach(make_config(M, B, w));
   auto in = staged_keys(mach, N, rng);
   ExtArray<std::uint64_t> out(mach, N, "out");
   mach.reset_stats();
   aem_merge_sort(in, out);
+
+  emit_metrics(mach,
+               "E2 N=" + std::to_string(N) + " M=" + std::to_string(M) +
+                   " B=" + std::to_string(B) + " omega=" + std::to_string(w),
+               metrics);
 
   bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
   const double q_bound = bounds::aem_sort_upper_bound(p);
@@ -41,6 +46,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 2));
 
@@ -53,7 +59,7 @@ int main(int argc, char** argv) {
                    "bound", "Q/bound", "writes/wbound"});
     const std::size_t n_max = full ? (1u << 19) : (1u << 17);
     for (std::size_t N = 1 << 13; N <= n_max; N <<= 1)
-      run_case(N, 256, 16, 8, t, rng);
+      run_case(N, 256, 16, 8, t, rng, metrics);
     emit(t, "Scaling in N (M=256, B=16, omega=8):", csv);
   }
 
@@ -61,7 +67,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "reads", "writes", "Q",
                    "bound", "Q/bound", "writes/wbound"});
     for (std::uint64_t w : {1, 2, 4, 8, 16, 32, 64, 128})
-      run_case(1 << 16, 256, 16, w, t, rng);
+      run_case(1 << 16, 256, 16, w, t, rng, metrics);
     emit(t, "Scaling in omega (N=2^16, M=256, B=16; note omega crosses B):",
          csv);
   }
@@ -70,9 +76,9 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "reads", "writes", "Q",
                    "bound", "Q/bound", "writes/wbound"});
     for (std::size_t M : {128, 256, 512, 1024, 2048})
-      run_case(1 << 16, M, 16, 8, t, rng);
+      run_case(1 << 16, M, 16, 8, t, rng, metrics);
     for (std::size_t B : {8, 16, 32, 64})
-      run_case(1 << 16, 512, B, 8, t, rng);
+      run_case(1 << 16, 512, B, 8, t, rng, metrics);
     emit(t, "Machine-shape sweep (N=2^16, omega=8):", csv);
   }
 

@@ -26,7 +26,9 @@ struct Costs {
 };
 
 Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Rng& rng) {
+              util::Rng& rng, const std::string& metrics) {
+  const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
+                          " B=" + std::to_string(B) + " omega=" + std::to_string(w);
   auto keys = util::random_keys(N, rng);
   Costs c{};
   {
@@ -37,6 +39,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_merge_sort(in, out);
     c.aware = mach.cost();
+    emit_metrics(mach, "E3 aware" + tag, metrics);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -46,6 +49,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     em_merge_sort(in, out);
     c.oblivious = mach.cost();
+    emit_metrics(mach, "E3 oblivious" + tag, metrics);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -55,6 +59,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_sample_sort(in, out);
     c.sample = mach.cost();
+    emit_metrics(mach, "E3 sample" + tag, metrics);
   }
   if (M >= 16 * B) {  // the external PQ's memory requirement
     Machine mach(make_config(M, B, w));
@@ -64,6 +69,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_heap_sort(in, out);
     c.heap = mach.cost();
+    emit_metrics(mach, "E3 heap" + tag, metrics);
   }
   return c;
 }
@@ -73,6 +79,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 3));
 
@@ -86,7 +93,7 @@ int main(int argc, char** argv) {
     const std::size_t N = full ? (1 << 17) : (1 << 15);
     const std::size_t M = 64, B = 8;
     for (std::uint64_t w : {1, 4, 16, 64, 256, 1024}) {
-      Costs c = run_all(N, M, B, w, rng);
+      Costs c = run_all(N, M, B, w, rng, metrics);
       bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
       const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
                                ? "aware"
@@ -108,7 +115,7 @@ int main(int argc, char** argv) {
                    "obl/aware", "predicted", "winner"});
     const std::size_t N = 1 << 15, M = 256, B = 16;
     for (std::uint64_t w : {1, 8, 16, 32, 128, 512}) {
-      Costs c = run_all(N, M, B, w, rng);
+      Costs c = run_all(N, M, B, w, rng, metrics);
       bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
       const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
                                ? "aware"

@@ -19,7 +19,9 @@ using namespace aem;
 using namespace aem::bench;
 
 void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Table& t, util::Rng& rng) {
+              util::Table& t, util::Rng& rng, const std::string& metrics) {
+  const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
+                          " B=" + std::to_string(B) + " omega=" + std::to_string(w);
   auto keys = util::random_keys(N, rng);
   auto dest = perm::random(N, rng);
 
@@ -32,6 +34,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
     naive_cost = mach.cost();
+    emit_metrics(mach, "E4 naive" + tag, metrics);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -41,6 +44,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     sort_permute(in, std::span<const std::uint64_t>(dest), out);
     sort_cost = mach.cost();
+    emit_metrics(mach, "E4 sort" + tag, metrics);
   }
   Machine chooser(make_config(M, B, w));
   const PermuteStrategy picked = choose_permute_strategy(chooser, N);
@@ -62,6 +66,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 4));
 
@@ -74,7 +79,7 @@ int main(int argc, char** argv) {
                    "best/LB", "dispatcher", "thm_applies"});
     const std::size_t n_max = full ? (1u << 18) : (1u << 16);
     for (std::size_t N = 1 << 12; N <= n_max; N <<= 1)
-      run_case(N, 256, 16, 8, t, rng);
+      run_case(N, 256, 16, 8, t, rng, metrics);
     emit(t, "Scaling in N (M=256, B=16, omega=8):", csv);
   }
 
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "naive", "sort", "lower_bound",
                    "best/LB", "dispatcher", "thm_applies"});
     for (std::uint64_t w : {1, 4, 16, 64, 256, 1024})
-      run_case(1 << 14, 128, 8, w, t, rng);
+      run_case(1 << 14, 128, 8, w, t, rng, metrics);
     emit(t, "Scaling in omega (N=2^14, M=128, B=8):", csv);
   }
 

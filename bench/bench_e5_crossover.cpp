@@ -23,7 +23,9 @@ struct Outcome {
 };
 
 Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-                util::Rng& rng) {
+                util::Rng& rng, const std::string& metrics) {
+  const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
+                          " B=" + std::to_string(B) + " omega=" + std::to_string(w);
   auto keys = util::random_keys(N, rng);
   auto dest = perm::random(N, rng);
   Outcome o{};
@@ -35,6 +37,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
     o.naive_cost = mach.cost();
+    emit_metrics(mach, "E5 naive" + tag, metrics);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -44,6 +47,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     sort_permute(in, std::span<const std::uint64_t>(dest), out);
     o.sort_cost = mach.cost();
+    emit_metrics(mach, "E5 sort" + tag, metrics);
   }
   return o;
 }
@@ -53,6 +57,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   util::Rng rng(cli.u64("seed", 5));
 
   banner("E5", "Theorem 4.5's min{.,.}: naive/sort-based crossover in omega "
@@ -67,7 +72,7 @@ int main(int argc, char** argv) {
     const std::size_t N = 1 << 14, M = 1024, B = 64;
     std::optional<bool> prev_sort_won, prev_pred_sort;
     for (std::uint64_t w : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-      Outcome o = measure(N, M, B, w, rng);
+      Outcome o = measure(N, M, B, w, rng, metrics);
       Machine model(make_config(M, B, w));
       const double nb = predicted_naive_cost(model, N);
       const double sb = predicted_sort_cost(model, N);
@@ -100,7 +105,7 @@ int main(int argc, char** argv) {
     const std::uint64_t w = 16;
     for (std::size_t B : {8, 16, 32, 64, 128}) {
       const std::size_t M = 16 * B;  // keep m fixed at 16
-      Outcome o = measure(N, M, B, w, rng);
+      Outcome o = measure(N, M, B, w, rng, metrics);
       Machine model(make_config(M, B, w));
       const double nb = predicted_naive_cost(model, N);
       const double sb = predicted_sort_cost(model, N);

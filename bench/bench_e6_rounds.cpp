@@ -23,7 +23,7 @@ using namespace aem::bench;
 template <class F>
 void run_case(const char* program, std::size_t N, std::size_t M,
               std::size_t B, std::uint64_t w, F&& body, util::Table& t,
-              util::Rng& rng) {
+              util::Rng& rng, const std::string& metrics) {
   Machine mach(make_config(M, B, w));
   auto keys = util::random_keys(N, rng);
   ExtArray<std::uint64_t> in(mach, N, "in");
@@ -32,6 +32,10 @@ void run_case(const char* program, std::size_t N, std::size_t M,
   mach.enable_trace();
   body(in, out, rng);
   auto trace = mach.take_trace();
+  emit_metrics(mach,
+               "E6 " + std::string(program) + " N=" + std::to_string(N) +
+                   " omega=" + std::to_string(w),
+               metrics);
 
   auto rb = rounds::make_round_based(*trace, mach.m(), w);
   const bool valid = rounds::validate_rounds(rb.trace, rb.rounds, 2 * mach.m(),
@@ -48,6 +52,7 @@ void run_case(const char* program, std::size_t N, std::size_t M,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   util::Rng rng(cli.u64("seed", 6));
 
   banner("E6", "Lemma 4.1: program -> round-based program on 2M at constant "
@@ -60,29 +65,29 @@ int main(int argc, char** argv) {
     run_case(
         "aem_mergesort", 1 << 13, M, B, w,
         [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
-        rng);
+        rng, metrics);
     run_case(
         "em_mergesort", 1 << 13, M, B, w,
         [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
-        rng);
+        rng, metrics);
     run_case(
         "samplesort", 1 << 13, M, B, w,
         [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
-        rng);
+        rng, metrics);
     run_case(
         "naive_permute", 1 << 13, M, B, w,
         [](auto& in, auto& out, util::Rng& r) {
           auto dest = perm::random(in.size(), r);
           naive_permute(in, std::span<const std::uint64_t>(dest), out);
         },
-        t, rng);
+        t, rng, metrics);
     run_case(
         "sort_permute", 1 << 13, M, B, w,
         [](auto& in, auto& out, util::Rng& r) {
           auto dest = perm::random(in.size(), r);
           sort_permute(in, std::span<const std::uint64_t>(dest), out);
         },
-        t, rng);
+        t, rng, metrics);
   }
   emit(t, "Round-based rewrite across programs and omega (M=128, B=8):", csv);
 

@@ -20,7 +20,8 @@ using namespace aem;
 using namespace aem::bench;
 
 void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
-              std::uint64_t w, util::Table& t, util::Rng& rng) {
+              std::uint64_t w, util::Table& t, util::Rng& rng,
+              const std::string& metrics) {
   Machine mach(make_config(M, B, w));
   auto atoms = util::distinct_keys(N, rng);
   auto dest = perm::random(N, rng);
@@ -36,6 +37,11 @@ void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
   }
   auto trace = mach.take_trace();
+  emit_metrics(mach,
+               std::string("E7 ") + (use_sort ? "sort" : "naive") +
+                   " N=" + std::to_string(N) + " B=" + std::to_string(B) +
+                   " omega=" + std::to_string(w),
+               metrics);
   auto r = flash::simulate_permutation_trace(
       *trace, std::span<const std::uint64_t>(atoms), in.id(), B, w);
 
@@ -56,6 +62,7 @@ void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 7));
 
@@ -67,14 +74,14 @@ int main(int argc, char** argv) {
   const std::size_t n_max = full ? (1u << 15) : (1u << 13);
   for (std::size_t N = 1 << 11; N <= n_max; N <<= 1) {
     for (std::uint64_t w : {2, 4, 8}) {
-      run_case(false, N, 128, 16, w, t, rng);
-      run_case(true, N, 128, 16, w, t, rng);
+      run_case(false, N, 128, 16, w, t, rng, metrics);
+      run_case(true, N, 128, 16, w, t, rng, metrics);
     }
   }
   // Larger blocks: B = 32 with omega up to 16 (B must be a multiple of
   // omega — the Lemma 4.3 precondition).
   for (std::uint64_t w : {4, 16})
-    for (bool s : {false, true}) run_case(s, 1 << 13, 256, 32, w, t, rng);
+    for (bool s : {false, true}) run_case(s, 1 << 13, 256, 32, w, t, rng, metrics);
   emit(t, "Flash-model replay of permutation programs:", csv);
 
   std::cout << "PASS criterion: vol/bound <= 1 in every row (the lemma),\n"

@@ -20,7 +20,13 @@ using namespace aem;
 using namespace aem::bench;
 
 void row(std::uint64_t N, std::uint64_t M, std::uint64_t B, std::uint64_t w,
-         util::Table& t) {
+         util::Table& t, const std::string& metrics) {
+  if (!metrics.empty()) {
+    // E8 is pure bound arithmetic — no I/O happens.  Emit the model machine
+    // anyway so every bench's metrics log names its parameter grid.
+    Machine model(make_config(M, B, w));
+    emit_metrics(model, "E8 N=" + std::to_string(N), metrics);
+  }
   bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
   const double per_round = bounds::log2_perms_per_round(p);
   const double target = bounds::log2_target_permutations(p);
@@ -38,6 +44,7 @@ void row(std::uint64_t N, std::uint64_t M, std::uint64_t B, std::uint64_t w,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
 
   banner("E8", "Section 4.2 counting bound: minimal rounds R from "
                "inequality (1) vs the closed form");
@@ -46,7 +53,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
     for (std::uint64_t N = 1 << 14; N <= (1ull << 26); N <<= 2)
-      row(N, 1 << 9, 16, 4, t);
+      row(N, 1 << 9, 16, 4, t, metrics);
     emit(t, "Scaling in N (M=512, B=16, omega=4):", csv);
   }
 
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
     for (std::uint64_t w : {1, 4, 16, 64, 256})
-      row(1 << 20, 1 << 9, 16, w, t);
+      row(1 << 20, 1 << 9, 16, w, t, metrics);
     emit(t, "Scaling in omega (N=2^20):", csv);
   }
 
@@ -62,11 +69,11 @@ int main(int argc, char** argv) {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
     for (std::uint64_t M : {1 << 7, 1 << 9, 1 << 11, 1 << 13})
-      row(1 << 20, M, 16, 8, t);
+      row(1 << 20, M, 16, 8, t, metrics);
     for (std::uint64_t B : {8, 16, 32, 64, 128})
-      row(1 << 20, 1 << 10, B, 8, t);
+      row(1 << 20, 1 << 10, B, 8, t, metrics);
     // B = 1: the (M, omega)-ARAM special case of Blelloch et al.
-    for (std::uint64_t w : {1, 8, 64}) row(1 << 20, 1 << 10, 1, w, t);
+    for (std::uint64_t w : {1, 8, 64}) row(1 << 20, 1 << 10, 1, w, t, metrics);
     emit(t, "Machine-shape sweep (N=2^20; the B=1 rows are the ARAM):", csv);
   }
 

@@ -27,7 +27,11 @@ struct Costs {
 };
 
 Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
-               std::size_t B, std::uint64_t w, util::Rng& rng) {
+               std::size_t B, std::uint64_t w, util::Rng& rng,
+               const std::string& metrics) {
+  const std::string tag = " N=" + std::to_string(N) +
+                          " delta=" + std::to_string(delta) +
+                          " omega=" + std::to_string(w);
   auto conf = Conformation::delta_regular(N, delta, rng);
   Costs c{};
   // The Theorem 5.1 setting exactly: the all-ones vector is implicit
@@ -39,6 +43,7 @@ Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
     mach.reset_stats();
     naive_row_sums(A, y, Counting{});
     c.naive = mach.cost();
+    emit_metrics(mach, "E9 naive" + tag, metrics);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -47,13 +52,15 @@ Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
     mach.reset_stats();
     sort_row_sums(A, y, Counting{});
     c.sorted = mach.cost();
+    emit_metrics(mach, "E9 sort" + tag, metrics);
   }
   return c;
 }
 
 void row(std::uint64_t N, std::uint64_t delta, std::size_t M, std::size_t B,
-         std::uint64_t w, util::Table& t, util::Rng& rng) {
-  Costs c = run_both(N, delta, M, B, w, rng);
+         std::uint64_t w, util::Table& t, util::Rng& rng,
+         const std::string& metrics) {
+  Costs c = run_both(N, delta, M, B, w, rng, metrics);
   bounds::SpmvParams p{.N = N, .delta = delta, .M = M, .B = B, .omega = w};
   // Theorem 5.1 plus the trivial "write the output vector" bound omega*n.
   const double lb = bounds::spmv_lower_bound_total(p);
@@ -70,6 +77,7 @@ void row(std::uint64_t N, std::uint64_t delta, std::size_t M, std::size_t B,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
   const bool full = cli.flag("full");
   util::Rng rng(cli.u64("seed", 9));
 
@@ -82,7 +90,7 @@ int main(int argc, char** argv) {
                    "Thm5.1_LB", "best/LB", "thm_applies"});
     const std::uint64_t N = full ? (1 << 15) : (1 << 13);
     for (std::uint64_t delta : {1, 2, 4, 8, 16, 32})
-      row(N, delta, 256, 16, 4, t, rng);
+      row(N, delta, 256, 16, 4, t, rng, metrics);
     emit(t, "Sweep delta (M=256, B=16, omega=4):", csv);
   }
 
@@ -93,7 +101,7 @@ int main(int argc, char** argv) {
     util::Table t({"N", "delta", "omega", "naive", "sort", "winner",
                    "Thm5.1_LB", "best/LB", "thm_applies"});
     for (std::uint64_t w : {1, 2, 4, 8, 16, 64, 256})
-      row(1 << 13, 4, 1024, 64, w, t, rng);
+      row(1 << 13, 4, 1024, 64, w, t, rng, metrics);
     emit(t, "Sweep omega (N=2^13, delta=4, B=64): naive takes over as "
             "writes dominate:", csv);
   }
@@ -103,7 +111,7 @@ int main(int argc, char** argv) {
                    "Thm5.1_LB", "best/LB", "thm_applies"});
     const std::uint64_t n_max = full ? (1 << 16) : (1 << 14);
     for (std::uint64_t N = 1 << 11; N <= n_max; N <<= 1)
-      row(N, 4, 256, 16, 4, t, rng);
+      row(N, 4, 256, 16, 4, t, rng, metrics);
     emit(t, "Scaling in N (delta=4, omega=4):", csv);
   }
 

@@ -1,0 +1,252 @@
+// M0 (meta) — instrumentation overhead of the Machine hot path itself.
+//
+// Every experiment E1-E10 funnels each simulated block transfer through
+// Machine::on_read/on_write, so simulated-I/Os-per-second bounds the
+// (N, omega) grids we can afford.  This bench measures that throughput
+// under each instrumentation feature (phases, wear, trace) and — the
+// regression guard — against a faithful replica of the seed implementation
+// (string-keyed std::map phase attribution with an O(depth^2) per-I/O
+// duplicate check, and a std::map<(array,block)> wear histogram).
+//
+// PASS criterion: phase-attributed I/O >= 3x the legacy replica's
+// throughput.  The bench prints the ratio and exits nonzero if it regresses
+// below 3x, so a slow hot path fails loudly in CI.
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+/// Keeps the compiler from proving the measured loop dead.
+inline void keep(std::uint64_t v) { asm volatile("" : : "r"(v) : "memory"); }
+
+/// Faithful replica of the SEED Machine instrumentation (pre-interning):
+/// phase stack of strings, per-I/O duplicate scan comparing names, map
+/// lookups per attributed phase, and an ordered map keyed by (array, block)
+/// for wear.  Kept here — not in the library — purely as the baseline the
+/// speedup is measured against.
+class LegacyMachine {
+ public:
+  void push_phase(std::string name) { stack_.push_back(std::move(name)); }
+  void pop_phase() { stack_.pop_back(); }
+  void enable_wear() { wear_enabled_ = true; }
+
+  void on_read(std::uint32_t, std::uint64_t) {
+    ++stats_.reads;
+    attribute(false);
+  }
+  void on_write(std::uint32_t array, std::uint64_t block) {
+    ++stats_.writes;
+    attribute(true);
+    if (wear_enabled_) ++wear_[{array, block}];
+  }
+
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  void attribute(bool is_write) {
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+      bool repeated = false;
+      for (std::size_t j = 0; j < i; ++j) repeated |= (stack_[j] == stack_[i]);
+      if (repeated) continue;
+      IoStats& s = phases_[stack_[i]];
+      if (is_write) {
+        ++s.writes;
+      } else {
+        ++s.reads;
+      }
+    }
+  }
+
+  IoStats stats_;
+  std::vector<std::string> stack_;
+  std::map<std::string, IoStats> phases_;
+  bool wear_enabled_ = false;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> wear_;
+};
+
+struct Measurement {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double mops() const { return ops / seconds / 1e6; }
+};
+
+/// Runs `body(ops)` enough times to fill ~`target_s` seconds of wall clock
+/// and reports the best-of-3 rate (min wall time for the same op count).
+template <class F>
+Measurement measure(F&& body, std::uint64_t ops_per_batch,
+                    double target_s = 0.15) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate batch count.
+  auto t0 = clock::now();
+  body(ops_per_batch);
+  double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const std::uint64_t batches =
+      once >= target_s ? 1 : static_cast<std::uint64_t>(target_s / once) + 1;
+  Measurement best;
+  best.ops = batches * ops_per_batch;
+  best.seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = clock::now();
+    for (std::uint64_t b = 0; b < batches; ++b) body(ops_per_batch);
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s < best.seconds) best.seconds = s;
+  }
+  return best;
+}
+
+/// 3 reads + 1 write per iteration over a rolling block index — the access
+/// mix of a merge pass, the library's dominant I/O pattern.
+template <class M>
+void io_mix(M& mach, std::uint32_t array, std::uint64_t ops) {
+  std::uint64_t block = 0;
+  for (std::uint64_t i = 0; i < ops / 4; ++i) {
+    mach.on_read(array, block);
+    mach.on_read(array, block + 1);
+    mach.on_read(array, block + 2);
+    mach.on_write(array, block);
+    block = (block + 3) & 1023;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string csv = cli.str("csv", "");
+  const std::string metrics = cli.str("metrics", "");
+  const bool full = cli.flag("full");
+  const double min_speedup = cli.f64("min-speedup", 3.0);
+  const std::uint64_t batch = full ? (1u << 22) : (1u << 20);
+
+  banner("M0 (meta)",
+         "simulator overhead: simulated I/Os per second by instrumentation "
+         "feature, vs the seed implementation");
+
+  util::Table t({"configuration", "ops", "seconds", "Mops/s", "vs_bare"});
+  double bare_mops = 0.0;
+
+  // The phase nesting used everywhere below: depth 3 with one duplicate
+  // name, mirroring sort.merge -> recursion re-entering the same phase.
+  const char* kOuter = "sort";
+  const char* kMid = "sort.merge";
+  const char* kDup = "sort.merge";  // duplicate: attributed once
+
+  auto add_row = [&](const char* name, const Measurement& m) {
+    if (bare_mops == 0.0) bare_mops = m.mops();
+    t.add_row({name, util::fmt(m.ops), util::fmt(m.seconds, 3),
+               util::fmt(m.mops(), 1),
+               util::fmt_ratio(m.mops(), bare_mops, 2)});
+    return m.mops();
+  };
+
+  Config cfg;
+  cfg.memory_elems = 1024;
+  cfg.block_elems = 16;
+  cfg.write_cost = 8;
+
+  {
+    Machine mach(cfg);
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("bare counters", measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              keep(mach.stats().reads);
+            }, batch));
+  }
+
+  double phased_mops = 0.0;
+  {
+    Machine mach(cfg);
+    const std::uint32_t a = mach.register_array("hot");
+    auto p1 = mach.phase(kOuter);
+    auto p2 = mach.phase(kMid);
+    auto p3 = mach.phase(kDup);
+    phased_mops = add_row("phases (depth 3, 1 dup)",
+                          measure([&](std::uint64_t ops) {
+                            io_mix(mach, a, ops);
+                            keep(mach.stats().reads);
+                          }, batch));
+    emit_metrics(mach, "M0 phases", metrics);
+  }
+
+  {
+    // Scope churn: enter/exit a nested phase per 64-op chunk, so the
+    // PhaseScope construction cost (interning + dedup) is in the loop.
+    Machine mach(cfg);
+    const std::uint32_t a = mach.register_array("hot");
+    auto p1 = mach.phase(kOuter);
+    add_row("phases + scope churn", measure([&](std::uint64_t ops) {
+              for (std::uint64_t done = 0; done < ops; done += 64) {
+                auto p = mach.phase(kMid);
+                io_mix(mach, a, 64);
+              }
+              keep(mach.stats().reads);
+            }, batch));
+  }
+
+  {
+    Machine mach(cfg);
+    mach.enable_wear_tracking();
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("wear histogram", measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              keep(mach.stats().writes);
+            }, batch));
+    emit_metrics(mach, "M0 wear", metrics);
+  }
+
+  {
+    Machine mach(cfg);
+    mach.enable_trace();
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("trace recording", measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              mach.trace()->clear();  // keep memory bounded
+              keep(mach.stats().reads);
+            }, batch / 4));
+  }
+
+  double legacy_mops = 0.0;
+  {
+    LegacyMachine mach;
+    mach.push_phase(kOuter);
+    mach.push_phase(kMid);
+    mach.push_phase(kDup);
+    Measurement m = measure([&](std::uint64_t ops) {
+      io_mix(mach, 0, ops);
+      keep(mach.stats().reads);
+    }, batch / 4);
+    legacy_mops = add_row("SEED replica: string phases (depth 3, 1 dup)", m);
+  }
+
+  {
+    LegacyMachine mach;
+    mach.enable_wear();
+    add_row("SEED replica: map wear", measure([&](std::uint64_t ops) {
+              io_mix(mach, 0, ops);
+              keep(mach.stats().writes);
+            }, batch / 4));
+  }
+
+  emit(t, "Simulated-I/O throughput by instrumentation configuration:", csv);
+
+  const double speedup = phased_mops / legacy_mops;
+  std::cout << "phase-attributed I/O speedup vs seed: " << util::fmt(speedup, 2)
+            << "x  (floor " << util::fmt(min_speedup, 1) << "x)\n\n";
+  std::cout << "PASS criterion: speedup >= " << util::fmt(min_speedup, 1)
+            << "x; phases/wear rows within a small factor of bare counters.\n";
+  if (speedup < min_speedup) {
+    std::cerr << "FAIL: hot-path speedup " << util::fmt(speedup, 2)
+              << "x below the " << util::fmt(min_speedup, 1) << "x floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,16 +2,19 @@
 // see where the cost goes.
 //
 //   ./quickstart [--n=65536] [--memory=1024] [--block=16] [--omega=8]
+//                [--metrics=snapshot.json]
 //
 // Walks through the core API: configure an (M,B,omega)-AEM machine, stage
 // an input array, run the paper's omega-aware mergesort, and read back the
 // I/O counters, the per-phase attribution, and the distance to the
 // theoretical bound.
+#include <fstream>
 #include <iostream>
 
 #include "bounds/sort_bounds.hpp"
 #include "core/ext_array.hpp"
 #include "core/machine.hpp"
+#include "core/metrics.hpp"
 #include "sort/mergesort.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -59,6 +62,15 @@ int main(int argc, char** argv) {
   std::cout << "\nper-phase attribution:\n";
   for (const auto& [phase, stats] : mach.phase_stats())
     std::cout << "  " << phase << ": " << to_string(stats) << "\n";
+
+  // Machine-readable form of everything above: one JSON snapshot in the
+  // aem.machine.metrics/v1 schema (same as the bench --metrics output).
+  if (const std::string path = cli.str("metrics", ""); !path.empty()) {
+    std::ofstream os(path);
+    write_json(os, snapshot_metrics(mach, "quickstart"));
+    os << "\n";
+    std::cout << "\nmetrics snapshot written to " << path << "\n";
+  }
 
   bounds::AemParams p{.N = N, .M = M, .B = B, .omega = omega};
   const double bound = bounds::aem_sort_upper_bound(p);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# ASan + UBSan build-and-ctest job: builds the whole tree with
+# -fsanitize=address,undefined (-fno-sanitize-recover=all, so any finding is
+# a hard failure) and runs the full test suite.  This keeps the ledger /
+# reservation lifetime fixes honest: a double-release, use-after-move, or
+# signed overflow in the accounting layer fails this job even when the
+# release build happens to pass.
+#
+# Usage: scripts/ci_sanitize.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAEM_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error: first ASan report aborts; UBSan already aborts via
+# -fno-sanitize-recover=all.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "sanitizer job passed (ASan + UBSan clean)"

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E10, A1-A2) and collects CSVs.
+# Regenerates every experiment table (E1-E10, A1-A2, M0) and collects CSVs
+# plus machine-metrics JSON snapshots (schema aem.machine.metrics/v1, one
+# JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
 set -euo pipefail
@@ -18,9 +20,30 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
     # google-benchmark binary: no custom flags.
     "$bench" | tee "$OUT_DIR/$name.txt"
   else
-    "$bench" --csv="$OUT_DIR/$name.csv" $FULL_FLAG | tee "$OUT_DIR/$name.txt"
+    "$bench" --csv="$OUT_DIR/$name.csv" \
+             --metrics="$OUT_DIR/$name.metrics.jsonl" \
+             $FULL_FLAG | tee "$OUT_DIR/$name.txt"
   fi
   echo
 done
+
+# Sanity-check the collected metrics: every line must be a JSON object of
+# the expected schema (python3 is present on any box that runs these
+# scripts; skip quietly if not).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT_DIR" <<'EOF'
+import json, pathlib, sys
+out = pathlib.Path(sys.argv[1])
+total = 0
+for f in sorted(out.glob("*.metrics.jsonl")):
+    for i, line in enumerate(f.read_text().splitlines(), 1):
+        snap = json.loads(line)
+        assert snap.get("schema") == "aem.machine.metrics/v1", \
+            f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
+        total += 1
+print(f"validated {total} machine-metrics snapshots "
+      f"across {len(list(out.glob('*.metrics.jsonl')))} files")
+EOF
+fi
 
 echo "All experiment outputs are in $OUT_DIR/"

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -39,10 +40,22 @@ struct Config {
     return util::ceil_div(elems, block_elems);
   }
 
-  /// Effective internal-memory capacity in elements.
+  /// Effective internal-memory capacity in elements.  Integral factors —
+  /// and in particular factor 2, the only case Lemma 4.1's round-based
+  /// replay needs — are computed in pure integer arithmetic (saturating at
+  /// SIZE_MAX): routing M through a double loses low bits once M exceeds
+  /// 2^53, which would silently shrink (or grow) the 2M replay machine.
   std::size_t capacity() const {
-    return static_cast<std::size_t>(
-        static_cast<double>(memory_elems) * capacity_factor);
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    const auto whole = static_cast<std::size_t>(capacity_factor);
+    if (capacity_factor == static_cast<double>(whole)) {
+      std::size_t cap = 0;
+      if (__builtin_mul_overflow(memory_elems, whole, &cap)) return kMax;
+      return cap;
+    }
+    const double cap = static_cast<double>(memory_elems) * capacity_factor;
+    if (cap >= static_cast<double>(kMax)) return kMax;
+    return static_cast<std::size_t>(cap);
   }
 
   /// Throws std::invalid_argument unless M >= B >= 1 and omega >= 1.

@@ -45,15 +45,35 @@ class MemoryLedger {
   }
 
   /// Releases previously acquired elements.  Releasing more than acquired is
-  /// a programming error; clamped defensively.
+  /// a programming error (typically a double-release); the count is clamped
+  /// so accounting can continue, but the ledger is *poisoned*: the underflow
+  /// is recorded and surfaced via poisoned() / Machine::ledger_poisoned(),
+  /// so tests and metrics catch the bug instead of it silently erasing part
+  /// of the footprint.  noexcept because it runs from destructors.
   void release(std::size_t elems) noexcept {
-    used_ = elems > used_ ? 0 : used_ - elems;
+    if (elems > used_) {
+      poisoned_ = true;
+      over_released_ += elems - used_;
+      used_ = 0;
+      return;
+    }
+    used_ -= elems;
   }
 
   std::size_t capacity() const { return capacity_; }
   std::size_t used() const { return used_; }
   std::size_t high_water() const { return high_water_; }
   bool strict() const { return strict_; }
+
+  /// True once any release() exceeded the acquired balance.  A poisoned
+  /// ledger's used()/high_water() are no longer trustworthy bounds.
+  bool poisoned() const { return poisoned_; }
+  /// Total elements released beyond the acquired balance.
+  std::size_t over_released() const { return over_released_; }
+  void clear_poison() {
+    poisoned_ = false;
+    over_released_ = 0;
+  }
 
   void reset_high_water() { high_water_ = used_; }
 
@@ -62,6 +82,8 @@ class MemoryLedger {
   bool strict_;
   std::size_t used_ = 0;
   std::size_t high_water_ = 0;
+  bool poisoned_ = false;
+  std::size_t over_released_ = 0;
 };
 
 /// RAII registration of `elems` resident elements with a ledger.
@@ -97,13 +119,18 @@ class MemoryReservation {
 
   ~MemoryReservation() { reset(); }
 
-  /// Changes the reservation size (acquire/release the delta).
+  /// Changes the reservation size (acquire/release the delta).  Strongly
+  /// exception-safe: a strict-mode CapacityError from the grow path leaves
+  /// both the ledger and elems_ exactly as they were, so the destructor
+  /// still releases the true outstanding amount.  The ledger must mutate
+  /// *before* elems_ is updated — the reverse order would, on throw, leave
+  /// elems_ claiming elements the ledger never granted.
   void resize(std::size_t elems) {
     if (ledger_ == nullptr) return;
     if (elems > elems_) {
-      ledger_->acquire(elems - elems_);
-    } else {
-      ledger_->release(elems_ - elems);
+      ledger_->acquire(elems - elems_);  // may throw; no state changed yet
+    } else if (elems < elems_) {
+      ledger_->release(elems_ - elems);  // noexcept
     }
     elems_ = elems;
   }

@@ -11,16 +11,66 @@ Machine::Machine(Config cfg)
 
 void Machine::reset_stats() {
   stats_ = IoStats{};
-  phases_.clear();
+  clear_phase_stats();
   ledger_.reset_high_water();
   if (wear_) wear_->clear();
 }
 
-Machine::PhaseScope::PhaseScope(Machine& mach, std::string name) : mach_(mach) {
-  mach_.phase_stack_.push_back(std::move(name));
+std::uint32_t Machine::intern_phase(std::string_view name) {
+  if (auto it = phase_ids_.find(name); it != phase_ids_.end())
+    return it->second;
+  const auto id = static_cast<std::uint32_t>(phase_names_.size());
+  phase_names_.emplace_back(name);
+  phase_ids_.emplace(phase_names_.back(), id);
+  phase_totals_.emplace_back();
+  phase_active_.push_back(0);
+  return id;
 }
 
-Machine::PhaseScope::~PhaseScope() { mach_.phase_stack_.pop_back(); }
+Machine::PhaseScope::PhaseScope(Machine& mach, std::string_view name)
+    : mach_(mach) {
+  const std::uint32_t id = mach_.intern_phase(name);
+  // Dedup decided once, here: a name already active contributes nothing to
+  // attribute(), so the hot path never compares names.
+  owns_slot_ = (mach_.phase_active_[id] == 0);
+  if (owns_slot_) {
+    mach_.phase_active_[id] = 1;
+    mach_.active_phases_.push_back(id);
+  }
+}
+
+Machine::PhaseScope::~PhaseScope() {
+  if (owns_slot_) {
+    // Scopes are strictly nested, so the owned id is the most recent one.
+    mach_.phase_active_[mach_.active_phases_.back()] = 0;
+    mach_.active_phases_.pop_back();
+  }
+}
+
+std::map<std::string, IoStats> Machine::phase_stats() const {
+  std::map<std::string, IoStats> out;
+  for (std::size_t id = 0; id < phase_names_.size(); ++id) {
+    const IoStats& s = phase_totals_[id];
+    if (s.reads != 0 || s.writes != 0) out.emplace(phase_names_[id], s);
+  }
+  return out;
+}
+
+void Machine::clear_phase_stats() {
+  // Zero the totals but keep names interned: ids held by live PhaseScopes
+  // stay valid, and re-entered phases reuse their slot without rehashing.
+  for (IoStats& s : phase_totals_) s = IoStats{};
+}
+
+const std::string& Machine::phase_name(std::uint32_t id) const {
+  if (id >= phase_names_.size()) throw std::out_of_range("unknown phase id");
+  return phase_names_[id];
+}
+
+const IoStats& Machine::phase_io(std::uint32_t id) const {
+  if (id >= phase_totals_.size()) throw std::out_of_range("unknown phase id");
+  return phase_totals_[id];
+}
 
 void Machine::enable_trace() { trace_ = std::make_unique<Trace>(); }
 
@@ -38,23 +88,6 @@ const std::string& Machine::array_name(std::uint32_t id) const {
   return arrays_[id];
 }
 
-void Machine::attribute(bool is_write) {
-  // Hierarchical attribution: an I/O counts toward every phase on the
-  // stack (each name at most once), so outer phases subsume inner ones.
-  for (std::size_t i = 0; i < phase_stack_.size(); ++i) {
-    bool repeated = false;
-    for (std::size_t j = 0; j < i; ++j)
-      repeated |= (phase_stack_[j] == phase_stack_[i]);
-    if (repeated) continue;
-    IoStats& s = phases_[phase_stack_[i]];
-    if (is_write) {
-      ++s.writes;
-    } else {
-      ++s.reads;
-    }
-  }
-}
-
 IoTicket Machine::on_read(std::uint32_t array, std::uint64_t block) {
   ++stats_.reads;
   attribute(/*is_write=*/false);
@@ -65,23 +98,45 @@ IoTicket Machine::on_read(std::uint32_t array, std::uint64_t block) {
 IoTicket Machine::on_write(std::uint32_t array, std::uint64_t block) {
   ++stats_.writes;
   attribute(/*is_write=*/true);
-  if (wear_) ++(*wear_)[{array, block}];
+  if (wear_) record_wear(array, block);
   if (trace_) return trace_->add(OpKind::kWrite, array, block);
   return IoTicket{};
 }
 
 Machine::WearStats Machine::wear_stats() const {
   WearStats ws;
-  if (!wear_ || wear_->empty()) return ws;
+  if (!wear_) return ws;
   std::uint64_t total = 0;
-  for (const auto& [key, count] : *wear_) {
-    ++ws.blocks_written;
-    total += count;
-    if (count > ws.max_writes) ws.max_writes = count;
+  for (const auto& blocks : *wear_) {
+    for (std::uint64_t count : blocks) {
+      if (count == 0) continue;
+      ++ws.blocks_written;
+      total += count;
+      if (count > ws.max_writes) ws.max_writes = count;
+    }
   }
-  ws.mean_writes =
-      static_cast<double>(total) / static_cast<double>(ws.blocks_written);
+  if (ws.blocks_written != 0)
+    ws.mean_writes =
+        static_cast<double>(total) / static_cast<double>(ws.blocks_written);
   return ws;
+}
+
+std::vector<Machine::ArrayWear> Machine::wear_by_array() const {
+  std::vector<ArrayWear> out;
+  if (!wear_) return out;
+  for (std::size_t a = 0; a < wear_->size(); ++a) {
+    const auto& blocks = (*wear_)[a];
+    ArrayWear aw;
+    aw.array = static_cast<std::uint32_t>(a);
+    for (std::uint64_t count : blocks) {
+      if (count == 0) continue;
+      ++aw.blocks_written;
+      aw.writes += count;
+      if (count > aw.max_writes) aw.max_writes = count;
+    }
+    if (aw.blocks_written != 0) out.push_back(aw);
+  }
+  return out;
 }
 
 }  // namespace aem

@@ -4,6 +4,17 @@
 // The machine itself stores no data — external arrays (core/ext_array.hpp)
 // own their storage and report every block transfer here.  This keeps the
 // machine non-templated while arrays are typed.
+//
+// Hot-path design: on_read/on_write run once per simulated block transfer,
+// so every experiment's wall clock is bounded by their cost.  All per-I/O
+// work is therefore flat-array arithmetic:
+//
+//  * phase names are interned to dense ids at PhaseScope construction, and
+//    the duplicate-name check runs once per scope push — attribute() is a
+//    loop over a small precomputed id list incrementing flat counters;
+//  * the wear histogram is a per-array vector indexed by block (block
+//    indices are dense: arrays are contiguous), not a map over
+//    (array, block) pairs.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +23,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -47,25 +60,39 @@ class Machine {
 
   MemoryLedger& ledger() { return ledger_; }
   const MemoryLedger& ledger() const { return ledger_; }
+  /// True if any reservation over-released (a masked double-release bug);
+  /// see MemoryLedger::poisoned().
+  bool ledger_poisoned() const { return ledger_.poisoned(); }
 
   // --- phase attribution ---------------------------------------------------
   /// RAII scope attributing subsequent I/Os to a named phase.  Phases nest
   /// hierarchically: an I/O counts toward every phase on the stack, so an
-  /// outer phase's stats subsume those of the phases it encloses.
+  /// outer phase's stats subsume those of the phases it encloses.  A name
+  /// already active on the stack is counted once (the dedup is decided here,
+  /// at push time, not per I/O).
   class PhaseScope {
    public:
-    PhaseScope(Machine& mach, std::string name);
+    PhaseScope(Machine& mach, std::string_view name);
     ~PhaseScope();
     PhaseScope(const PhaseScope&) = delete;
     PhaseScope& operator=(const PhaseScope&) = delete;
 
    private:
     Machine& mach_;
+    bool owns_slot_;  // false when this name was already active (duplicate)
   };
 
-  PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
-  const std::map<std::string, IoStats>& phase_stats() const { return phases_; }
-  void clear_phase_stats() { phases_.clear(); }
+  PhaseScope phase(std::string_view name) { return PhaseScope(*this, name); }
+
+  /// Per-phase I/O counters, by name, for phases that performed any I/O.
+  /// Built on demand from the interned-id storage (not the hot path).
+  std::map<std::string, IoStats> phase_stats() const;
+  void clear_phase_stats();
+
+  /// Interned-phase introspection (stable ids, used by core/metrics).
+  std::size_t phase_count() const { return phase_names_.size(); }
+  const std::string& phase_name(std::uint32_t id) const;
+  const IoStats& phase_io(std::uint32_t id) const;
 
   // --- wear tracking ---------------------------------------------------
   /// NVM cells have limited write endurance, so beyond total write COUNT
@@ -82,6 +109,15 @@ class Machine {
   };
   WearStats wear_stats() const;
 
+  /// Per-array wear profile (empty when wear tracking is off).
+  struct ArrayWear {
+    std::uint32_t array = 0;
+    std::uint64_t blocks_written = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t max_writes = 0;
+  };
+  std::vector<ArrayWear> wear_by_array() const;
+
   // --- tracing -------------------------------------------------------------
   /// Starts recording ops into a fresh trace (dropping any previous one).
   void enable_trace();
@@ -97,6 +133,7 @@ class Machine {
   /// Registers an array; the returned id appears in traces and diagnostics.
   std::uint32_t register_array(std::string name);
   const std::string& array_name(std::uint32_t id) const;
+  std::size_t array_count() const { return arrays_.size(); }
 
   /// Charges one block read / write and records it if tracing.
   IoTicket on_read(std::uint32_t array, std::uint64_t block);
@@ -105,18 +142,55 @@ class Machine {
  private:
   friend class PhaseScope;
 
+  /// Heterogeneous string hashing so phase interning can look up a
+  /// string_view without materializing a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::uint32_t intern_phase(std::string_view name);
+
   Config cfg_;
   MemoryLedger ledger_;
   IoStats stats_;
   std::vector<std::string> arrays_;
-  std::vector<std::string> phase_stack_;
-  std::map<std::string, IoStats> phases_;
-  std::unique_ptr<Trace> trace_;
-  std::optional<std::map<std::pair<std::uint32_t, std::uint64_t>,
-                         std::uint64_t>>
-      wear_;
 
-  void attribute(bool is_write);
+  // Phase interning + attribution state.  active_phases_ holds the DISTINCT
+  // ids currently on the scope stack, in push order; phase_active_ is the
+  // per-id membership flag that makes the duplicate check O(1) at push.
+  std::vector<std::string> phase_names_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      phase_ids_;
+  std::vector<IoStats> phase_totals_;
+  std::vector<std::uint8_t> phase_active_;
+  std::vector<std::uint32_t> active_phases_;
+
+  std::unique_ptr<Trace> trace_;
+  // wear_[array][block] = write count; vectors grow on demand (block indices
+  // are dense within an array, so this is a flat histogram, not a map).
+  std::optional<std::vector<std::vector<std::uint64_t>>> wear_;
+
+  void attribute(bool is_write) {
+    for (std::uint32_t id : active_phases_) {
+      IoStats& s = phase_totals_[id];
+      if (is_write) {
+        ++s.writes;
+      } else {
+        ++s.reads;
+      }
+    }
+  }
+
+  void record_wear(std::uint32_t array, std::uint64_t block) {
+    auto& per_array = *wear_;
+    if (array >= per_array.size()) per_array.resize(array + 1);
+    auto& blocks = per_array[array];
+    if (block >= blocks.size()) blocks.resize(block + 1, 0);
+    ++blocks[block];
+  }
 };
 
 }  // namespace aem

@@ -1,0 +1,170 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/machine.hpp"
+
+namespace aem {
+
+namespace {
+
+// Doubles are rendered with enough digits to round-trip, but without the
+// locale-dependence of operator<<.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const char* fmt_bool(bool b) { return b ? "true" : "false"; }
+
+void write_io(std::ostream& os, const IoStats& io) {
+  os << "{\"reads\":" << io.reads << ",\"writes\":" << io.writes << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
+  MetricsSnapshot s;
+  s.label = std::move(label);
+
+  const Config& cfg = mach.config();
+  s.memory_elems = cfg.memory_elems;
+  s.block_elems = cfg.block_elems;
+  s.write_cost = cfg.write_cost;
+  s.strict = cfg.strict;
+  s.capacity_factor = cfg.capacity_factor;
+  s.capacity = cfg.capacity();
+
+  s.io = mach.stats();
+  s.cost = mach.cost();
+
+  const MemoryLedger& ledger = mach.ledger();
+  s.ledger_used = ledger.used();
+  s.ledger_high_water = ledger.high_water();
+  s.ledger_poisoned = ledger.poisoned();
+  s.ledger_over_released = ledger.over_released();
+
+  for (std::uint32_t id = 0; id < mach.phase_count(); ++id) {
+    const IoStats& io = mach.phase_io(id);
+    if (io.reads == 0 && io.writes == 0) continue;
+    s.phases.push_back(PhaseMetrics{mach.phase_name(id), io});
+  }
+
+  s.wear_enabled = mach.wear_tracking();
+  if (s.wear_enabled) {
+    const Machine::WearStats ws = mach.wear_stats();
+    s.wear_blocks_written = ws.blocks_written;
+    s.wear_max_writes = ws.max_writes;
+    s.wear_mean_writes = ws.mean_writes;
+    for (const Machine::ArrayWear& aw : mach.wear_by_array()) {
+      ArrayWearMetrics m;
+      m.array = aw.array;
+      if (aw.array < mach.array_count()) m.name = mach.array_name(aw.array);
+      m.blocks_written = aw.blocks_written;
+      m.writes = aw.writes;
+      m.max_writes = aw.max_writes;
+      s.wear_arrays.push_back(std::move(m));
+    }
+  }
+
+  s.trace_enabled = mach.tracing();
+  if (const Trace* tr = mach.trace()) s.trace_ops = tr->size();
+
+  s.arrays.reserve(mach.array_count());
+  for (std::uint32_t id = 0; id < mach.array_count(); ++id)
+    s.arrays.push_back(mach.array_name(id));
+
+  return s;
+}
+
+void write_json(std::ostream& os, const MetricsSnapshot& s) {
+  os << "{\"schema\":\"" << MetricsSnapshot::kSchema << "\"";
+  os << ",\"label\":\"" << json_escape(s.label) << "\"";
+
+  os << ",\"config\":{\"memory_elems\":" << s.memory_elems
+     << ",\"block_elems\":" << s.block_elems
+     << ",\"write_cost\":" << s.write_cost
+     << ",\"strict\":" << fmt_bool(s.strict)
+     << ",\"capacity_factor\":" << fmt_double(s.capacity_factor)
+     << ",\"capacity\":" << s.capacity << "}";
+
+  os << ",\"io\":{\"reads\":" << s.io.reads << ",\"writes\":" << s.io.writes
+     << ",\"total\":" << s.io.total_ios() << ",\"cost\":" << s.cost << "}";
+
+  os << ",\"ledger\":{\"used\":" << s.ledger_used
+     << ",\"high_water\":" << s.ledger_high_water
+     << ",\"poisoned\":" << fmt_bool(s.ledger_poisoned)
+     << ",\"over_released\":" << s.ledger_over_released << "}";
+
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(s.phases[i].name) << "\",\"io\":";
+    write_io(os, s.phases[i].io);
+    os << "}";
+  }
+  os << "]";
+
+  os << ",\"wear\":{\"enabled\":" << fmt_bool(s.wear_enabled)
+     << ",\"blocks_written\":" << s.wear_blocks_written
+     << ",\"max_writes\":" << s.wear_max_writes
+     << ",\"mean_writes\":" << fmt_double(s.wear_mean_writes)
+     << ",\"arrays\":[";
+  for (std::size_t i = 0; i < s.wear_arrays.size(); ++i) {
+    const ArrayWearMetrics& m = s.wear_arrays[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(m.name) << "\",\"array\":" << m.array
+       << ",\"blocks_written\":" << m.blocks_written
+       << ",\"writes\":" << m.writes << ",\"max_writes\":" << m.max_writes
+       << "}";
+  }
+  os << "]}";
+
+  os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)
+     << ",\"ops\":" << s.trace_ops << "}";
+
+  os << ",\"arrays\":[";
+  for (std::size_t i = 0; i < s.arrays.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(s.arrays[i]) << "\"";
+  }
+  os << "]}";
+}
+
+std::string to_json(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  write_json(os, s);
+  return os.str();
+}
+
+}  // namespace aem

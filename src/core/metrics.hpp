@@ -1,0 +1,95 @@
+// Structured machine observability: a stable, versioned snapshot of
+// everything a Machine measures — I/O counters, per-phase attribution,
+// ledger high-water, wear histogram summary, trace status, and the machine
+// configuration — serialized to a line of JSON.
+//
+// Consumers: bench binaries (--metrics=FILE appends one snapshot per
+// measured case), scripts/run_experiments.sh (collects the per-bench
+// .metrics.jsonl files), and tools/aem_trace (--json=FILE renders a
+// recorded trace in the same schema).  The schema is documented in
+// docs/MODEL.md section 8 and versioned by the "schema" field, so external
+// tooling can detect incompatible changes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace aem {
+
+class Machine;
+
+struct PhaseMetrics {
+  std::string name;
+  IoStats io;
+};
+
+struct ArrayWearMetrics {
+  std::string name;  // empty if the array id is unknown to the machine
+  std::uint32_t array = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t max_writes = 0;
+};
+
+/// A point-in-time copy of a Machine's observable state.  Plain data: it can
+/// also be filled by hand (tools/aem_trace builds one from a trace without a
+/// live machine).
+struct MetricsSnapshot {
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v1";
+
+  /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
+  std::string label;
+
+  // config
+  std::uint64_t memory_elems = 0;
+  std::uint64_t block_elems = 0;
+  std::uint64_t write_cost = 1;
+  bool strict = true;
+  double capacity_factor = 1.0;
+  std::uint64_t capacity = 0;
+
+  // io
+  IoStats io;
+  std::uint64_t cost = 0;
+
+  // ledger
+  std::uint64_t ledger_used = 0;
+  std::uint64_t ledger_high_water = 0;
+  bool ledger_poisoned = false;
+  std::uint64_t ledger_over_released = 0;
+
+  // phases (only those that performed I/O, in registration order)
+  std::vector<PhaseMetrics> phases;
+
+  // wear
+  bool wear_enabled = false;
+  std::uint64_t wear_blocks_written = 0;
+  std::uint64_t wear_max_writes = 0;
+  double wear_mean_writes = 0.0;
+  std::vector<ArrayWearMetrics> wear_arrays;
+
+  // trace
+  bool trace_enabled = false;
+  std::uint64_t trace_ops = 0;
+
+  // registered arrays, by id
+  std::vector<std::string> arrays;
+};
+
+/// Snapshots the machine's current state.  Read-only and out of the hot
+/// path: call it once per measured case, not per I/O.
+MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label = "");
+
+/// Serializes the snapshot as a single-line JSON object (stable key order).
+void write_json(std::ostream& os, const MetricsSnapshot& s);
+std::string to_json(const MetricsSnapshot& s);
+
+/// JSON string escaping (exposed for tests and ad-hoc emitters).
+std::string json_escape(std::string_view s);
+
+}  // namespace aem

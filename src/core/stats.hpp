@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace aem {
@@ -12,10 +13,27 @@ struct IoStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
 
-  /// Q = Q_r + omega * Q_w.
-  std::uint64_t cost(std::uint64_t omega) const { return reads + omega * writes; }
+  /// Q = Q_r + omega * Q_w, saturating at UINT64_MAX.  Large (N, omega)
+  /// sweeps (omega in the hundreds, counters in the billions) can push the
+  /// product past 64 bits; a silently wrapped cost would fake a *cheaper*
+  /// computation, so saturation is the safe failure mode.
+  std::uint64_t cost(std::uint64_t omega) const {
+    std::uint64_t weighted = 0;
+    if (__builtin_mul_overflow(writes, omega, &weighted))
+      return std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t q = 0;
+    if (__builtin_add_overflow(reads, weighted, &q))
+      return std::numeric_limits<std::uint64_t>::max();
+    return q;
+  }
 
-  std::uint64_t total_ios() const { return reads + writes; }
+  /// reads + writes, saturating at UINT64_MAX (same rationale as cost()).
+  std::uint64_t total_ios() const {
+    std::uint64_t t = 0;
+    if (__builtin_add_overflow(reads, writes, &t))
+      return std::numeric_limits<std::uint64_t>::max();
+    return t;
+  }
 
   IoStats& operator+=(const IoStats& o) {
     reads += o.reads;

@@ -2,6 +2,7 @@
 // machine cost accounting, phase attribution, trace recording, ExtArray I/O.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 
 #include "core/config.hpp"
@@ -49,6 +50,23 @@ TEST(ConfigTest, ValidationRejectsBadParameters) {
   cfg.capacity_factor = 0.5;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   EXPECT_NO_THROW(small_config().validate());
+}
+
+TEST(IoStatsTest, CostSaturatesInsteadOfWrapping) {
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // Multiplication boundary: writes * omega at the edge of 64 bits.
+  IoStats two_writes{0, 2};
+  EXPECT_EQ(two_writes.cost(kMax / 2), kMax - 1);  // exactly representable
+  EXPECT_EQ(two_writes.cost(kMax / 2 + 1), kMax);  // would wrap: saturates
+  // Addition boundary: reads + omega*writes crossing the edge.
+  IoStats near{kMax - 10, 1};
+  EXPECT_EQ(near.cost(10), kMax);        // reads + 10 == kMax exactly
+  EXPECT_EQ(near.cost(11), kMax);        // would wrap: saturates
+  IoStats wrap{1, kMax};
+  EXPECT_EQ(wrap.cost(2), kMax);         // product alone overflows
+  // total_ios saturates the same way.
+  IoStats both{kMax, kMax};
+  EXPECT_EQ(both.total_ios(), kMax);
 }
 
 TEST(IoStatsTest, CostFormula) {
@@ -106,6 +124,67 @@ TEST(LedgerTest, CapacityErrorCarriesContext) {
     EXPECT_EQ(e.used(), 8u);
     EXPECT_EQ(e.capacity(), 10u);
   }
+}
+
+TEST(LedgerTest, OverReleasePoisonsInsteadOfMasking) {
+  MemoryLedger ledger(100, /*strict=*/true);
+  ledger.acquire(30);
+  EXPECT_FALSE(ledger.poisoned());
+  ledger.release(50);  // double-release bug: 20 elements never acquired
+  EXPECT_TRUE(ledger.poisoned());
+  EXPECT_EQ(ledger.over_released(), 20u);
+  EXPECT_EQ(ledger.used(), 0u);  // still clamped so accounting continues
+  // Poison is sticky across further correct usage...
+  ledger.acquire(10);
+  ledger.release(10);
+  EXPECT_TRUE(ledger.poisoned());
+  // ...until explicitly cleared.
+  ledger.clear_poison();
+  EXPECT_FALSE(ledger.poisoned());
+  EXPECT_EQ(ledger.over_released(), 0u);
+}
+
+TEST(LedgerTest, MachineSurfacesPoisonedLedger) {
+  Machine mach(small_config());
+  EXPECT_FALSE(mach.ledger_poisoned());
+  mach.ledger().release(1);  // nothing acquired
+  EXPECT_TRUE(mach.ledger_poisoned());
+}
+
+TEST(ConfigTest, CapacityIsExactForIntegralFactorsBeyondDoublePrecision) {
+  Config cfg = small_config();
+  // M just past 2^53: a double cannot represent 2^53 + 1, so the old
+  // double-routed computation would silently round the 2M replay capacity.
+  cfg.memory_elems = (std::size_t{1} << 53) + 1;
+  cfg.capacity_factor = 2.0;
+  EXPECT_EQ(cfg.capacity(), (std::size_t{1} << 54) + 2);
+  cfg.capacity_factor = 1.0;
+  EXPECT_EQ(cfg.capacity(), (std::size_t{1} << 53) + 1);
+  // Overflowing integral product saturates instead of wrapping.
+  cfg.memory_elems = std::numeric_limits<std::size_t>::max() - 1;
+  cfg.capacity_factor = 2.0;
+  EXPECT_EQ(cfg.capacity(), std::numeric_limits<std::size_t>::max());
+  // Fractional factors still work (double path).
+  cfg.memory_elems = 100;
+  cfg.capacity_factor = 1.5;
+  EXPECT_EQ(cfg.capacity(), 150u);
+}
+
+TEST(LedgerTest, ReservationResizeIsStronglyExceptionSafe) {
+  MemoryLedger ledger(100, /*strict=*/true);
+  MemoryReservation r(ledger, 60);
+  EXPECT_THROW(r.resize(120), CapacityError);  // grow past capacity
+  // Strong guarantee: both the reservation and the ledger are unchanged.
+  EXPECT_EQ(r.elems(), 60u);
+  EXPECT_EQ(ledger.used(), 60u);
+  EXPECT_FALSE(ledger.poisoned());
+  // The reservation is still fully usable after the failed grow...
+  r.resize(80);
+  EXPECT_EQ(ledger.used(), 80u);
+  // ...and its destructor releases exactly the tracked amount.
+  r.reset();
+  EXPECT_EQ(ledger.used(), 0u);
+  EXPECT_FALSE(ledger.poisoned());
 }
 
 TEST(LedgerTest, ReservationRaii) {
@@ -176,6 +255,110 @@ TEST(MachineTest, PhaseAttribution) {
   EXPECT_EQ(ps.at("init").writes, 1u);
   EXPECT_EQ(ps.at("inner").reads, 1u);
   EXPECT_EQ(mach.stats().reads, 4u);  // global counter sees everything
+}
+
+TEST(MachineTest, DuplicatePhaseNamesAttributeOnce) {
+  Machine mach(small_config());
+  std::uint32_t id = mach.register_array("t");
+  {
+    auto outer = mach.phase("pass");
+    mach.on_read(id, 0);
+    {
+      auto inner = mach.phase("pass");  // same name, nested: no double count
+      mach.on_read(id, 1);
+      mach.on_write(id, 1);
+      {
+        auto third = mach.phase("pass");  // deeper duplicate still dedups
+        mach.on_read(id, 2);
+      }
+    }
+    // The duplicates' exits must not tear down the outer scope's slot.
+    mach.on_read(id, 3);
+  }
+  mach.on_read(id, 4);  // outside: unattributed
+  const auto ps = mach.phase_stats();
+  ASSERT_TRUE(ps.count("pass"));
+  EXPECT_EQ(ps.at("pass").reads, 4u);
+  EXPECT_EQ(ps.at("pass").writes, 1u);
+  EXPECT_EQ(ps.size(), 1u);
+  EXPECT_EQ(mach.stats().reads, 5u);
+}
+
+TEST(MachineTest, SequentialSamePhaseNameAccumulates) {
+  Machine mach(small_config());
+  std::uint32_t id = mach.register_array("t");
+  {
+    auto p = mach.phase("pass");
+    mach.on_read(id, 0);
+  }
+  {
+    auto p = mach.phase("pass");  // re-entered after full exit
+    mach.on_write(id, 0);
+  }
+  const auto ps = mach.phase_stats();
+  EXPECT_EQ(ps.at("pass").reads, 1u);
+  EXPECT_EQ(ps.at("pass").writes, 1u);
+}
+
+TEST(MachineTest, MixedDuplicateAndDistinctPhases) {
+  Machine mach(small_config());
+  std::uint32_t id = mach.register_array("t");
+  {
+    auto a = mach.phase("a");
+    {
+      auto b = mach.phase("b");
+      {
+        auto a2 = mach.phase("a");  // duplicate of the outermost
+        mach.on_write(id, 0);       // counts toward "a" once and "b" once
+      }
+    }
+    mach.on_read(id, 0);  // only "a" active now
+  }
+  const auto ps = mach.phase_stats();
+  EXPECT_EQ(ps.at("a").writes, 1u);
+  EXPECT_EQ(ps.at("a").reads, 1u);
+  EXPECT_EQ(ps.at("b").writes, 1u);
+  EXPECT_EQ(ps.at("b").reads, 0u);
+}
+
+TEST(MachineTest, ResetClearsPhasesAndWearButPreservesArrays) {
+  Machine mach(small_config());
+  mach.enable_wear_tracking();
+  std::uint32_t a = mach.register_array("alpha");
+  std::uint32_t b = mach.register_array("beta");
+  {
+    auto p = mach.phase("warmup");
+    mach.on_read(a, 0);
+    mach.on_write(b, 0);
+  }
+  ASSERT_EQ(mach.phase_stats().size(), 1u);
+  ASSERT_EQ(mach.wear_stats().blocks_written, 1u);
+
+  mach.reset_stats();
+  EXPECT_TRUE(mach.phase_stats().empty());
+  EXPECT_EQ(mach.wear_stats().blocks_written, 0u);
+  EXPECT_EQ(mach.stats(), IoStats{});
+  // Registered arrays survive the reset (they are identity, not stats)...
+  EXPECT_EQ(mach.array_name(a), "alpha");
+  EXPECT_EQ(mach.array_name(b), "beta");
+  EXPECT_EQ(mach.array_count(), 2u);
+  // ...and phase/wear attribution keeps working afterwards.
+  {
+    auto p = mach.phase("warmup");
+    mach.on_write(a, 1);
+  }
+  EXPECT_EQ(mach.phase_stats().at("warmup").writes, 1u);
+  EXPECT_EQ(mach.wear_stats().blocks_written, 1u);
+}
+
+TEST(MachineTest, ResetInsideActivePhaseKeepsAttributing) {
+  Machine mach(small_config());
+  std::uint32_t id = mach.register_array("t");
+  auto p = mach.phase("live");
+  mach.on_read(id, 0);
+  mach.reset_stats();  // scope still open: later I/Os must still attribute
+  mach.on_read(id, 1);
+  EXPECT_EQ(mach.phase_stats().at("live").reads, 1u);
 }
 
 TEST(MachineTest, TraceRecordsOps) {

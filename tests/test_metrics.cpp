@@ -1,0 +1,129 @@
+// Unit tests for core/metrics: snapshot correctness against a live machine
+// and stability of the JSON serialization.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "core/metrics.hpp"
+
+namespace {
+
+using namespace aem;
+
+Config small_config() {
+  Config cfg;
+  cfg.memory_elems = 64;
+  cfg.block_elems = 8;
+  cfg.write_cost = 4;
+  return cfg;
+}
+
+TEST(MetricsTest, SnapshotCapturesMachineState) {
+  Machine mach(small_config());
+  mach.enable_wear_tracking();
+  mach.enable_trace();
+  std::uint32_t a = mach.register_array("alpha");
+  std::uint32_t b = mach.register_array("beta");
+  {
+    auto p = mach.phase("pass");
+    mach.on_read(a, 0);
+    mach.on_write(a, 0);
+    mach.on_write(a, 0);
+    mach.on_write(b, 3);
+  }
+  Buffer<int> buf(mach, 16);
+
+  const MetricsSnapshot s = snapshot_metrics(mach, "unit");
+  EXPECT_EQ(s.label, "unit");
+  EXPECT_EQ(s.memory_elems, 64u);
+  EXPECT_EQ(s.block_elems, 8u);
+  EXPECT_EQ(s.write_cost, 4u);
+  EXPECT_EQ(s.capacity, 64u);
+
+  EXPECT_EQ(s.io.reads, 1u);
+  EXPECT_EQ(s.io.writes, 3u);
+  EXPECT_EQ(s.cost, 1u + 4u * 3u);
+
+  EXPECT_EQ(s.ledger_used, 16u);
+  EXPECT_EQ(s.ledger_high_water, 16u);
+  EXPECT_FALSE(s.ledger_poisoned);
+
+  ASSERT_EQ(s.phases.size(), 1u);
+  EXPECT_EQ(s.phases[0].name, "pass");
+  EXPECT_EQ(s.phases[0].io.reads, 1u);
+  EXPECT_EQ(s.phases[0].io.writes, 3u);
+
+  EXPECT_TRUE(s.wear_enabled);
+  EXPECT_EQ(s.wear_blocks_written, 2u);  // alpha block 0, beta block 3
+  EXPECT_EQ(s.wear_max_writes, 2u);
+  ASSERT_EQ(s.wear_arrays.size(), 2u);
+  EXPECT_EQ(s.wear_arrays[0].name, "alpha");
+  EXPECT_EQ(s.wear_arrays[0].writes, 2u);
+  EXPECT_EQ(s.wear_arrays[1].name, "beta");
+  EXPECT_EQ(s.wear_arrays[1].blocks_written, 1u);
+
+  EXPECT_TRUE(s.trace_enabled);
+  EXPECT_EQ(s.trace_ops, 4u);
+
+  ASSERT_EQ(s.arrays.size(), 2u);
+  EXPECT_EQ(s.arrays[0], "alpha");
+  EXPECT_EQ(s.arrays[1], "beta");
+}
+
+TEST(MetricsTest, SnapshotOfFreshMachineIsEmptyButValid) {
+  Machine mach(small_config());
+  const MetricsSnapshot s = snapshot_metrics(mach);
+  EXPECT_EQ(s.io.total_ios(), 0u);
+  EXPECT_TRUE(s.phases.empty());
+  EXPECT_FALSE(s.wear_enabled);
+  EXPECT_FALSE(s.trace_enabled);
+  const std::string j = to_json(s);
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v1\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"phases\":[]"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
+  Machine mach(small_config());
+  std::uint32_t a = mach.register_array("in");
+  {
+    auto p = mach.phase("sort.merge");
+    mach.on_read(a, 0);
+    mach.on_write(a, 0);
+  }
+  const std::string j = to_json(snapshot_metrics(mach, "case-1"));
+  EXPECT_EQ(j.find('\n'), std::string::npos);  // one line per snapshot
+  for (const char* needle :
+       {"\"schema\":\"aem.machine.metrics/v1\"", "\"label\":\"case-1\"",
+        "\"config\":{\"memory_elems\":64,\"block_elems\":8,\"write_cost\":4",
+        "\"io\":{\"reads\":1,\"writes\":1,\"total\":2,\"cost\":5}",
+        "\"name\":\"sort.merge\"", "\"ledger\":", "\"poisoned\":false",
+        "\"wear\":{\"enabled\":false", "\"trace\":{\"enabled\":false",
+        "\"arrays\":[\"in\"]"}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle
+                                                 << " in " << j;
+  }
+}
+
+TEST(MetricsTest, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(MetricsTest, SnapshotSurfacesPoisonedLedger) {
+  Machine mach(small_config());
+  mach.ledger().release(7);  // over-release: poison
+  const MetricsSnapshot s = snapshot_metrics(mach);
+  EXPECT_TRUE(s.ledger_poisoned);
+  EXPECT_EQ(s.ledger_over_released, 7u);
+  const std::string j = to_json(s);
+  EXPECT_NE(j.find("\"poisoned\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"over_released\":7"), std::string::npos);
+}
+
+}  // namespace

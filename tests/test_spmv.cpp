@@ -105,7 +105,8 @@ TEST(ConformationTest, RejectsBadCoordinates) {
   EXPECT_THROW(Conformation(4, {{5, 0}}), std::invalid_argument);
   EXPECT_THROW(Conformation(4, {{1, 0}, {0, 0}}), std::invalid_argument);
   EXPECT_THROW(Conformation(4, {{1, 0}, {1, 0}}), std::invalid_argument);
-  EXPECT_THROW(Conformation::delta_regular(4, 5, *(new util::Rng(1))),
+  util::Rng rng(1);
+  EXPECT_THROW(Conformation::delta_regular(4, 5, rng),
                std::invalid_argument);
 }
 

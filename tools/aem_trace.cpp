@@ -1,20 +1,71 @@
 // aem_trace — inspect a recorded AEM program (trace) offline.
 //
 //   aem_trace --file=prog.trace --omega=8 --m=16 [--rounds] [--rewrite]
+//             [--json=out.json]
 //
 // Reads a trace in the core/trace_io.hpp text format and prints its I/O
 // statistics; with --rounds, its Section 4 round decomposition; with
-// --rewrite, the Lemma 4.1 round-based rewrite and the measured constant.
-// Traces are produced by any Machine with tracing enabled and
-// write_trace(); see examples/permute_pipeline.cpp.
+// --rewrite, the Lemma 4.1 round-based rewrite and the measured constant;
+// with --json, a machine-metrics snapshot (schema aem.machine.metrics/v1,
+// same as the bench --metrics output) including the write-wear histogram
+// reconstructed from the trace.  Traces are produced by any Machine with
+// tracing enabled and write_trace(); see examples/permute_pipeline.cpp.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 
+#include "core/metrics.hpp"
 #include "core/trace.hpp"
 #include "core/trace_io.hpp"
 #include "rounds/rounds.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// Renders a recorded trace in the machine-metrics schema: I/O counters and
+// cost directly, the wear section reconstructed by replaying write targets.
+aem::MetricsSnapshot trace_metrics(const aem::Trace& trace,
+                                   const std::string& path,
+                                   std::uint64_t omega, std::size_t m) {
+  using namespace aem;
+  MetricsSnapshot s;
+  s.label = "trace:" + path;
+  s.write_cost = omega;
+  s.block_elems = 0;  // unknown from a bare trace
+  s.memory_elems = m;  // in blocks here; config section is advisory
+  s.io = trace.stats();
+  s.cost = trace.cost(omega);
+  s.trace_enabled = true;
+  s.trace_ops = trace.size();
+
+  // Wear reconstruction: count writes per (array, block).
+  std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> wear;
+  for (const TraceOp& op : trace.ops())
+    if (op.kind == OpKind::kWrite) ++wear[op.array][op.block];
+  s.wear_enabled = true;
+  std::uint64_t total = 0;
+  for (const auto& [array, blocks] : wear) {
+    ArrayWearMetrics aw;
+    aw.array = array;
+    for (const auto& [block, count] : blocks) {
+      ++aw.blocks_written;
+      aw.writes += count;
+      aw.max_writes = std::max(aw.max_writes, count);
+    }
+    s.wear_blocks_written += aw.blocks_written;
+    s.wear_max_writes = std::max(s.wear_max_writes, aw.max_writes);
+    total += aw.writes;
+    s.wear_arrays.push_back(std::move(aw));
+  }
+  if (s.wear_blocks_written != 0)
+    s.wear_mean_writes =
+        static_cast<double>(total) / static_cast<double>(s.wear_blocks_written);
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace aem;
@@ -23,7 +74,7 @@ int main(int argc, char** argv) {
     const std::string path = cli.str("file", "");
     if (path.empty()) {
       std::cerr << "usage: aem_trace --file=prog.trace --omega=W --m=M_blocks"
-                   " [--rounds] [--rewrite]\n";
+                   " [--rounds] [--rewrite] [--json=FILE]\n";
       return 2;
     }
     const std::uint64_t omega = cli.u64("omega", 1);
@@ -48,6 +99,17 @@ int main(int argc, char** argv) {
               << "cost (omega=" << omega << "): " << trace.cost(omega) << "\n"
               << "atoms written  : " << written_atoms << "\n"
               << "atoms consumed : " << used_atoms << "\n";
+
+    if (const std::string json = cli.str("json", ""); !json.empty()) {
+      std::ofstream os(json);
+      if (!os) {
+        std::cerr << "aem_trace: cannot write " << json << "\n";
+        return 2;
+      }
+      write_json(os, trace_metrics(trace, path, omega, m));
+      os << "\n";
+      std::cout << "metrics snapshot written to " << json << "\n";
+    }
 
     if (cli.flag("rounds")) {
       auto rounds = rounds::split_rounds(trace, m, omega);
