@@ -162,6 +162,33 @@ int main(int argc, char** argv) {
             }, batch));
   }
 
+  {
+    // An installed-but-idle FaultPolicy (all rates zero) must cost one null
+    // check plus the budget comparison — nowhere near a feature's price.
+    Machine mach(cfg);
+    FaultConfig fc;
+    mach.install_faults(fc);
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("faults: zero-rate policy", measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              keep(mach.stats().reads);
+            }, batch));
+  }
+
+  {
+    // A pure budget watchdog (huge ceiling, never trips).
+    Machine mach(cfg);
+    FaultConfig fc;
+    fc.max_cost = ~0ull >> 1;
+    fc.max_ios = ~0ull >> 1;
+    mach.install_faults(fc);
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("faults: ceiling armed", measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              keep(mach.stats().reads);
+            }, batch));
+  }
+
   double phased_mops = 0.0;
   {
     Machine mach(cfg);
@@ -237,6 +264,30 @@ int main(int argc, char** argv) {
   }
 
   emit(t, "Simulated-I/O throughput by instrumentation configuration:", csv);
+
+  // Hard guard, not a timing: with a zero-rate policy installed the
+  // counters after an identical op sequence must be byte-identical to a
+  // machine with no policy at all.  Fault injection that is "off" must be
+  // OFF — any drift here silently poisons every experiment's Q.
+  {
+    Machine plain(cfg);
+    const std::uint32_t pa = plain.register_array("hot");
+    io_mix(plain, pa, 1 << 16);
+    Machine faulted(cfg);
+    faulted.install_faults(FaultConfig{});
+    const std::uint32_t fa = faulted.register_array("hot");
+    io_mix(faulted, fa, 1 << 16);
+    if (!(plain.stats() == faulted.stats()) ||
+        plain.cost() != faulted.cost()) {
+      std::cerr << "FAIL: zero-rate fault policy perturbed the counters "
+                   "(reads " << plain.stats().reads << " vs "
+                << faulted.stats().reads << ", cost " << plain.cost()
+                << " vs " << faulted.cost() << ")\n";
+      return 1;
+    }
+    std::cout << "zero-overhead guard: counters byte-identical with and "
+                 "without a zero-rate policy\n\n";
+  }
 
   const double speedup = phased_mops / legacy_mops;
   std::cout << "phase-attributed I/O speedup vs seed: " << util::fmt(speedup, 2)

@@ -23,4 +23,16 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "sanitizer job passed (ASan + UBSan clean)"
+# Second pass: the fault-injection run.  AEM_FAULT_RATE cranks the fault
+# schedules of the fault-aware suite tests (test_recovery builds its
+# FaultConfig via from_env), so the recovery layer's retry/remap/corruption
+# paths — the code most likely to hide a use-after-move or off-by-one in
+# byte twiddling — execute under ASan+UBSan too.  Exact-cost tests build
+# their configs directly and are unaffected.
+echo "=== fault-injection pass (AEM_FAULT_RATE=0.02) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=7 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection pass)"

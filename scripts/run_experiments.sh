@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E10, A1-A2, M0) and collects CSVs
-# plus machine-metrics JSON snapshots (schema aem.machine.metrics/v1, one
-# JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
+# Regenerates every experiment table (E1-E10, A1-A2, M0, R1) and collects
+# CSVs plus machine-metrics JSON snapshots (schema aem.machine.metrics/v2,
+# one JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
 set -euo pipefail
@@ -34,14 +34,36 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$OUT_DIR" <<'EOF'
 import json, pathlib, sys
 out = pathlib.Path(sys.argv[1])
+FAULT_KEYS = {"enabled", "seed", "read_fault_rate", "silent_write_rate",
+              "torn_write_rate", "endurance", "spare_blocks", "max_retries",
+              "verify_writes", "checksum_reads", "max_cost", "max_ios",
+              "injected", "recovery"}
 total = 0
+faulty_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v1", \
+        assert snap.get("schema") == "aem.machine.metrics/v2", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
+        faults = snap.get("faults")
+        assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
+            f"{f.name}:{i}: malformed faults section {faults!r}"
+        if faults["enabled"]:
+            faulty_runs += 1
         total += 1
+# bench_r1_faults must have produced fault-enabled snapshots with live
+# injected/recovery counters.
+r1 = out / "bench_r1_faults.metrics.jsonl"
+assert r1.exists(), "bench_r1_faults produced no metrics file"
+r1_active = [json.loads(l) for l in r1.read_text().splitlines()
+             if json.loads(l)["faults"]["enabled"]]
+assert r1_active, "bench_r1_faults: no fault-enabled snapshots"
+assert any(s["faults"]["injected"]["read"] > 0 or
+           s["faults"]["recovery"]["write_retries"] > 0
+           for s in r1_active), \
+    "bench_r1_faults: fault schedules never fired"
 print(f"validated {total} machine-metrics snapshots "
+      f"({faulty_runs} fault-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

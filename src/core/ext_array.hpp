@@ -6,28 +6,42 @@
 // except through these charged transfers — that discipline is what makes the
 // machine's counters a faithful implementation of the AEM cost measure.
 //
+// When the machine has a FaultPolicy installed (core/faults.hpp), ExtArray
+// is also the device's recovery layer: blocks carry checksums, reads verify
+// and retry on corruption, writes verify-after-write and rewrite on failure
+// (every retry charged through the normal accounting), retired blocks are
+// transparently migrated to spares via a wear-leveling RemapTable
+// (core/remap.hpp).  Algorithms run unmodified; they only see the extra
+// charged I/Os.  With no policy installed, the code path is byte-identical
+// to the perfect device.
+//
 // Buffer<T> is the internal-memory counterpart: an RAII allocation
 // registered with the machine's MemoryLedger, so the ledger's high-water
 // mark bounds the algorithm's true internal-memory footprint.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/machine.hpp"
+#include "core/remap.hpp"
 
 namespace aem {
 
 /// Result of a block transfer: element count plus the trace ticket (invalid
 /// when tracing is off).  The ticket lets atom-tracking algorithms annotate
-/// the recorded op (Lemma 4.3 needs per-read use-sets).
+/// the recorded op (Lemma 4.3 needs per-read use-sets).  Under fault
+/// injection the ticket is that of the final (successful) attempt.
 struct BlockIo {
   std::size_t count = 0;
   IoTicket ticket;
@@ -35,8 +49,17 @@ struct BlockIo {
 
 template <class T>
 class ExtArray {
+  /// Checksums hash object representations, so they are only sound for
+  /// types whose value determines every byte (no padding, no NaN aliasing).
+  /// For other types the recovery layer falls back to per-block
+  /// known-corrupt flags — the simulator knows what it corrupted, which
+  /// models a perfect device-side ECC without hashing indeterminate bytes.
+  static constexpr bool kChecksummable =
+      std::has_unique_object_representations_v<T>;
+
  public:
   /// An empty, machine-less array (useful as a moved-from placeholder).
+  /// Any block operation on it throws std::logic_error.
   ExtArray() = default;
 
   /// Allocates external storage for `elems` elements.  Allocation itself is
@@ -46,8 +69,26 @@ class ExtArray {
         id_(mach.register_array(std::move(name))),
         data_(elems) {}
 
-  ExtArray(ExtArray&&) noexcept = default;
-  ExtArray& operator=(ExtArray&&) noexcept = default;
+  /// Moved-from arrays become machine-less placeholders (operations throw
+  /// std::logic_error) instead of silently aliasing the old machine.
+  ExtArray(ExtArray&& o) noexcept
+      : mach_(std::exchange(o.mach_, nullptr)),
+        id_(std::exchange(o.id_, 0)),
+        data_(std::move(o.data_)),
+        atom_of_(std::move(o.atom_of_)),
+        rec_(std::move(o.rec_)) {}
+
+  ExtArray& operator=(ExtArray&& o) noexcept {
+    if (this != &o) {
+      mach_ = std::exchange(o.mach_, nullptr);
+      id_ = std::exchange(o.id_, 0);
+      data_ = std::move(o.data_);
+      atom_of_ = std::move(o.atom_of_);
+      rec_ = std::move(o.rec_);
+    }
+    return *this;
+  }
+
   ExtArray(const ExtArray&) = delete;
   ExtArray& operator=(const ExtArray&) = delete;
 
@@ -58,7 +99,7 @@ class ExtArray {
   }
   std::uint32_t id() const { return id_; }
   Machine& machine() const {
-    assert(mach_ != nullptr);
+    check_attached();
     return *mach_;
   }
 
@@ -71,38 +112,58 @@ class ExtArray {
   }
 
   /// Reads block `bi` into `dst` (which must hold >= block_elems(bi)
-  /// elements).  Charges one read I/O.
+  /// elements).  Charges one read I/O — plus, under fault injection, one
+  /// read per checksum-triggered retry.
   BlockIo read_block(std::uint64_t bi, std::span<T> dst) const {
     const std::size_t count = block_elems(bi);
     if (dst.size() < count)
       throw std::invalid_argument("read_block: destination too small");
-    const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
-    for (std::size_t i = 0; i < count; ++i) dst[i] = data_[begin + i];
-    IoTicket t = mach_->on_read(id_, bi);
-    return BlockIo{count, t};
+    FaultPolicy* fp = mach_->faults();
+    if (fp == nullptr || !fp->injects_faults()) {
+      const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
+      for (std::size_t i = 0; i < count; ++i) dst[i] = data_[begin + i];
+      IoTicket t = mach_->on_read(id_, bi);
+      return BlockIo{count, t};
+    }
+    return faulty_read(*fp, bi, dst, count);
   }
 
   /// Overwrites block `bi` with `src` (which must hold exactly
-  /// block_elems(bi) elements).  Charges one write I/O (cost omega).
+  /// block_elems(bi) elements).  Charges one write I/O (cost omega) — plus,
+  /// under fault injection, omega per rewrite and one read per
+  /// verify-after-write attempt.
   BlockIo write_block(std::uint64_t bi, std::span<const T> src) {
     const std::size_t count = block_elems(bi);
     if (src.size() != count)
       throw std::invalid_argument("write_block: source size mismatch");
-    const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
-    for (std::size_t i = 0; i < count; ++i) data_[begin + i] = src[i];
-    IoTicket t = mach_->on_write(id_, bi);
-    if (t.valid() && atom_of_) {
-      std::vector<std::uint64_t> atoms(count);
-      for (std::size_t i = 0; i < count; ++i) atoms[i] = atom_of_(src[i]);
-      mach_->trace()->set_atoms(t, std::move(atoms));
+    FaultPolicy* fp = mach_->faults();
+    if (fp == nullptr || !fp->injects_faults()) {
+      const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
+      for (std::size_t i = 0; i < count; ++i) data_[begin + i] = src[i];
+      IoTicket t = mach_->on_write(id_, bi);
+      annotate_atoms(t, src, count);
+      return BlockIo{count, t};
     }
-    return BlockIo{count, t};
+    return faulty_write(*fp, bi, src, count);
   }
 
   /// Grows the array to `elems` elements (new space default-initialized).
   /// Free in the model: this only reserves external address space.
   void grow_to(std::size_t elems) {
-    if (elems > data_.size()) data_.resize(elems);
+    if (elems <= data_.size()) return;
+    const std::size_t old_blocks = blocks();
+    data_.resize(elems);
+    if (rec_ != nullptr) {
+      if (!rec_->remap.empty() && blocks() > rec_->spare_base)
+        throw std::logic_error(
+            "ExtArray::grow_to: cannot grow past the spare region after "
+            "blocks were remapped");
+      if (rec_->remap.empty()) rec_->spare_base = blocks();
+      // Re-stamp from the previously-last block: growth turns a partial
+      // block into a full one (its checksum changes) and appends fresh
+      // default-initialized blocks.
+      refresh_block_meta(old_blocks == 0 ? 0 : old_blocks - 1);
+    }
   }
 
   /// Registers an atom-id extractor used to annotate traced writes
@@ -120,7 +181,9 @@ class ExtArray {
 
   /// Debug/verification access to the raw contents.  NOT charged — only for
   /// test assertions and host-side conformation metadata, never inside a
-  /// measured algorithm.
+  /// measured algorithm.  Under fault injection this is the *native* block
+  /// region; remapped blocks live in the spare region, so measured reads
+  /// remain the one honest access path.
   const std::vector<T>& unsafe_host_view() const { return data_; }
 
   /// Uncharged bulk initialization, used to stage problem inputs before a
@@ -130,18 +193,224 @@ class ExtArray {
     if (src.size() != data_.size())
       throw std::invalid_argument("unsafe_host_fill: size mismatch");
     for (std::size_t i = 0; i < src.size(); ++i) data_[i] = src[i];
+    if (rec_ != nullptr) refresh_block_meta(0);
+  }
+
+  // --- fault-injection observability --------------------------------------
+  /// Logical blocks currently redirected to spares (0 when no faults).
+  std::size_t remapped_blocks() const {
+    return rec_ == nullptr ? 0 : rec_->remap.active();
+  }
+  std::size_t spares_used() const {
+    return rec_ == nullptr ? 0 : rec_->remap.spares_used();
   }
 
  private:
+  /// Per-array device-side recovery state, created lazily on the first
+  /// transfer under an installed FaultPolicy.
+  struct Recovery {
+    explicit Recovery(std::size_t spare_capacity) : remap(spare_capacity) {}
+    RemapTable remap;
+    std::vector<T> spare;         // spare-block storage, B elements per slot
+    std::size_t spare_base = 0;   // physical id of spare slot 0
+    std::vector<std::uint64_t> sums;   // per-logical-block checksums
+    std::vector<std::uint8_t> dirty;   // fallback: known-corrupt blocks
+  };
+
+  /// Physical location backing logical block `bi`: the charge id the
+  /// machine sees and the storage the data actually lives in.
+  struct PhysLoc {
+    std::uint64_t charge;
+    T* data;
+  };
+
+  void check_attached() const {
+    if (mach_ == nullptr)
+      throw std::logic_error(
+          "ExtArray: no machine attached (default-constructed or moved-from "
+          "array)");
+  }
+
   void check_block(std::uint64_t bi) const {
-    if (mach_ == nullptr) throw std::logic_error("empty ExtArray");
-    if (bi >= blocks()) throw std::out_of_range("block index out of range");
+    check_attached();
+    if (bi >= blocks())
+      throw std::out_of_range("ExtArray: block index " + std::to_string(bi) +
+                              " out of range (array has " +
+                              std::to_string(blocks()) + " blocks)");
+  }
+
+  void annotate_atoms(IoTicket t, std::span<const T> src, std::size_t count) {
+    if (t.valid() && atom_of_) {
+      std::vector<std::uint64_t> atoms(count);
+      for (std::size_t i = 0; i < count; ++i) atoms[i] = atom_of_(src[i]);
+      mach_->trace()->set_atoms(t, std::move(atoms));
+    }
+  }
+
+  Recovery& recovery(const FaultPolicy& fp) const {
+    if (rec_ == nullptr) {
+      rec_ = std::make_unique<Recovery>(fp.config().spare_blocks);
+      rec_->spare_base = blocks();
+      refresh_block_meta(0);
+    }
+    return *rec_;
+  }
+
+  /// (Re)computes checksum / dirty metadata for blocks [first, blocks()).
+  /// Host-side bookkeeping of the device's ECC metadata — uncharged.
+  void refresh_block_meta(std::size_t first) const {
+    const std::size_t n = blocks();
+    if constexpr (kChecksummable) {
+      rec_->sums.resize(n);
+      const std::size_t B = mach_->B();
+      for (std::size_t bi = first; bi < n; ++bi) {
+        const std::size_t begin = bi * B;
+        const std::size_t count = std::min(B, data_.size() - begin);
+        rec_->sums[bi] =
+            fault_checksum(data_.data() + begin, count * sizeof(T));
+      }
+    } else {
+      rec_->dirty.assign(n, 0);
+    }
+  }
+
+  PhysLoc locate(std::uint64_t bi) const {
+    if (rec_ != nullptr && !rec_->remap.empty()) {
+      const std::uint64_t slot = rec_->remap.slot_of(bi);
+      if (slot != RemapTable::npos)
+        return PhysLoc{rec_->spare_base + slot,
+                       rec_->spare.data() +
+                           static_cast<std::size_t>(slot) * mach_->B()};
+    }
+    return PhysLoc{bi, const_cast<T*>(data_.data()) +
+                           static_cast<std::size_t>(bi) * mach_->B()};
+  }
+
+  /// Flips one byte of the block's object representation (the simulated bit
+  /// rot).  The mask is drawn from the fault schedule, so corruption is as
+  /// reproducible as the faults themselves.
+  static void corrupt(T* elems, std::size_t count, std::uint64_t r) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "fault injection requires trivially copyable elements");
+    auto* bytes = reinterpret_cast<unsigned char*>(elems);
+    const std::size_t nbytes = count * sizeof(T);
+    bytes[r % nbytes] ^=
+        static_cast<unsigned char>(1 | ((r >> 8) & 0xff));
+  }
+
+  /// True if the delivered copy in `dst` passes the device's read check.
+  bool delivered_clean(const Recovery& rec, std::uint64_t bi, const T* dst,
+                       std::size_t count, bool injected_corrupt) const {
+    if constexpr (kChecksummable) {
+      (void)injected_corrupt;  // the checksum catches it for real
+      return fault_checksum(dst, count * sizeof(T)) == rec.sums[bi];
+    } else {
+      return !injected_corrupt && rec.dirty[bi] == 0;
+    }
+  }
+
+  BlockIo faulty_read(FaultPolicy& fp, std::uint64_t bi, std::span<T> dst,
+                      std::size_t count) const {
+    const Recovery& rec = recovery(fp);
+    const std::size_t max_retries = fp.config().max_retries;
+    std::size_t attempt = 0;
+    for (;;) {
+      const PhysLoc loc = locate(bi);
+      const IoTicket t = mach_->on_read(id_, loc.charge);
+      for (std::size_t i = 0; i < count; ++i) dst[i] = loc.data[i];
+      bool injected = false;
+      if (fp.draw_read_fault()) {
+        corrupt(dst.data(), count, fp.draw_u64());
+        injected = true;
+      }
+      if (!fp.config().checksum_reads ||
+          delivered_clean(rec, bi, dst.data(), count, injected))
+        return BlockIo{count, t};
+      fp.note_checksum_failure();
+      if (attempt >= max_retries)
+        throw FaultError(/*is_write=*/false, id_, bi, attempt + 1,
+                         "checksum mismatch persists (stored block corrupt "
+                         "or fault rate too high for the retry budget)");
+      ++attempt;
+      fp.note_read_retry();
+    }
+  }
+
+  BlockIo faulty_write(FaultPolicy& fp, std::uint64_t bi,
+                       std::span<const T> src, std::size_t count) {
+    Recovery& rec = recovery(fp);
+    const std::size_t B = mach_->B();
+    const std::size_t max_retries = fp.config().max_retries;
+    std::size_t attempt = 0;  // failures on the current physical block
+    for (;;) {
+      const PhysLoc loc = locate(bi);
+      const IoTicket t = mach_->on_write(id_, loc.charge);
+      annotate_atoms(t, src, count);
+      const bool on_retired = fp.record_write(id_, loc.charge);
+      const FaultKind fault =
+          on_retired ? FaultKind::kRetiredBlock : fp.draw_write_fault();
+
+      // Apply the attempt to the stored bytes.
+      bool stored_ok = false;
+      switch (fault) {
+        case FaultKind::kNone:
+          for (std::size_t i = 0; i < count; ++i) loc.data[i] = src[i];
+          stored_ok = true;
+          break;
+        case FaultKind::kSilentWrite:
+          for (std::size_t i = 0; i < count; ++i) loc.data[i] = src[i];
+          corrupt(loc.data, count, fp.draw_u64());
+          break;
+        case FaultKind::kTornWrite: {
+          // Only a prefix persists; the tail keeps its old contents.
+          const std::size_t torn = fp.draw_u64() % count;
+          for (std::size_t i = 0; i < torn; ++i) loc.data[i] = src[i];
+          break;
+        }
+        default:  // kRetiredBlock: the write does not take at all
+          break;
+      }
+      // Device ECC metadata is computed from the *intended* payload, so a
+      // later read of a corrupt block fails its check.
+      if constexpr (kChecksummable) {
+        rec.sums[bi] = fault_checksum(src.data(), count * sizeof(T));
+      } else {
+        rec.dirty[bi] = stored_ok ? 0 : 1;
+      }
+
+      if (!fp.config().verify_writes) return BlockIo{count, t};
+
+      // Verify-after-write: one charged read-back, itself subject to
+      // transient read faults.
+      mach_->on_read(id_, loc.charge);
+      const bool readback_corrupt = fp.draw_read_fault();
+      if (stored_ok && !readback_corrupt) return BlockIo{count, t};
+      fp.note_verify_failure();
+
+      if (fp.retired(id_, loc.charge)) {
+        // Permanent failure: migrate this logical block to a spare and
+        // retry there with a fresh retry budget.
+        const std::uint64_t slot = rec.remap.remap(bi);
+        rec.spare.resize((static_cast<std::size_t>(slot) + 1) * B);
+        fp.note_remap();
+        attempt = 0;
+        continue;
+      }
+      if (attempt >= max_retries)
+        throw FaultError(/*is_write=*/true, id_, bi, attempt + 1,
+                         "verify-after-write keeps failing (fault rate too "
+                         "high for the retry budget)");
+      ++attempt;
+      fp.note_write_retry();
+    }
   }
 
   Machine* mach_ = nullptr;
   std::uint32_t id_ = 0;
   std::vector<T> data_;
   std::function<std::uint64_t(const T&)> atom_of_;
+  // Mutable: reads must be able to lazily create recovery state and retry.
+  mutable std::unique_ptr<Recovery> rec_;
 };
 
 /// An internal-memory allocation of `elems` elements, registered with the
@@ -165,8 +434,14 @@ class Buffer {
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }
 
-  /// Resizes the buffer, adjusting the ledger registration.
+  /// Resizes the buffer, adjusting the ledger registration.  On a
+  /// default-constructed or moved-from buffer (no ledger) this is a
+  /// programming error: the elements would evade the memory accounting.
   void resize(std::size_t elems) {
+    if (!reservation_.attached() && elems != 0)
+      throw std::logic_error(
+          "Buffer: resize on a default-constructed or moved-from buffer "
+          "(no ledger to account the allocation)");
     reservation_.resize(elems);
     data_.resize(elems);
   }

@@ -1,0 +1,241 @@
+// Fault injection and endurance modelling for the AEM machine.
+//
+// The model charges omega per write *because* NVM cells wear out and writes
+// can fail (Jacob & Sitchinava Section 1).  A FaultPolicy turns the
+// simulator's perfect device into one that actually exhibits those failure
+// modes, deterministically:
+//
+//  * transient read faults  — a read delivers corrupted data this one time;
+//    the stored block is intact and a (charged) retry succeeds;
+//  * silent write faults    — the write "succeeds" but the stored block is
+//    corrupted; only verification (read-back or checksum) can tell;
+//  * torn write faults      — only a prefix of the block is persisted, the
+//    tail keeps its previous contents;
+//  * endurance retirement   — after `endurance` lifetime writes a physical
+//    block wears out permanently: further writes to it do not take effect
+//    and the recovery layer must migrate the block to a spare (core/remap);
+//  * budget ceilings        — hard caps on Q and on total I/Os that abort a
+//    runaway computation with a structured BudgetExceeded instead of
+//    running forever.
+//
+// Every fault decision is drawn from a counter-based SplitMix64 stream, so
+// an identical (seed, config, program) triple reproduces the exact same
+// fault schedule bit for bit — fault runs are as replayable as clean ones.
+//
+// The policy itself only *decides*; data corruption happens in ExtArray
+// (core/ext_array.hpp), which owns the stored bytes, and the recovery layer
+// there (checksums, verify-after-write, bounded retry, remap to spares)
+// charges every retry through the normal Machine accounting path, so the
+// omega-weighted price of robustness shows up in Q like any other I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace aem {
+
+/// What (if anything) the device does to one attempted operation.
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kTransientRead,  // delivered data corrupted; stored data intact
+  kSilentWrite,    // stored data corrupted; write reports success
+  kTornWrite,      // only a prefix of the block is persisted
+  kRetiredBlock,   // block past its endurance budget; write does not take
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultConfig {
+  /// Seed of the deterministic fault schedule.
+  std::uint64_t seed = 1;
+
+  /// Per-operation fault probabilities in [0, 1].  The two write rates are
+  /// mutually exclusive outcomes of one draw, so their sum must be <= 1.
+  double read_fault_rate = 0.0;
+  double silent_write_rate = 0.0;
+  double torn_write_rate = 0.0;
+
+  /// Lifetime writes a physical block endures before permanent retirement.
+  /// 0 = unlimited (no retirement).
+  std::uint64_t endurance = 0;
+
+  /// Spare physical blocks available per array for wear-leveling remap of
+  /// retired blocks.  0 = no spares (a retired block is unrecoverable).
+  std::size_t spare_blocks = 0;
+
+  /// Bound on recovery retries per logical operation (per physical block:
+  /// a remap to a fresh spare resets the count).
+  std::size_t max_retries = 4;
+
+  /// Read back every write (one charged read per attempt) and rewrite on
+  /// mismatch.  Off = silent faults stay silent.
+  bool verify_writes = true;
+
+  /// Maintain per-block checksums and verify every delivered read block,
+  /// retrying (charged) on mismatch.
+  bool checksum_reads = true;
+
+  /// Hard ceiling on Q = Q_r + omega*Q_w; exceeding it throws
+  /// BudgetExceeded from the machine.  0 = unlimited.
+  std::uint64_t max_cost = 0;
+  /// Hard ceiling on total I/Os (reads + writes).  0 = unlimited.
+  std::uint64_t max_ios = 0;
+
+  /// Throws std::invalid_argument on out-of-range rates.
+  void validate() const;
+
+  /// `base` with AEM_FAULT_RATE / AEM_FAULT_SEED environment overrides
+  /// applied (used by CI to run the whole test suite under a nonzero
+  /// default fault rate).  AEM_FAULT_RATE=r sets read_fault_rate = r and
+  /// splits r evenly between the two write fault kinds.
+  static FaultConfig from_env(FaultConfig base);
+  static FaultConfig from_env();
+};
+
+/// Counters of everything the fault/recovery machinery did.  Flows into the
+/// metrics snapshot (schema aem.machine.metrics/v2, docs/MODEL.md sec. 10).
+struct FaultStats {
+  // injected faults
+  std::uint64_t read_faults = 0;
+  std::uint64_t silent_write_faults = 0;
+  std::uint64_t torn_write_faults = 0;
+  std::uint64_t retired_writes = 0;  // write attempts on retired blocks
+
+  // recovery activity (each retry is also charged in the machine's IoStats)
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_retries = 0;
+  std::uint64_t verify_failures = 0;    // verify-after-write mismatches
+  std::uint64_t checksum_failures = 0;  // read-side checksum mismatches
+  std::uint64_t retired_blocks = 0;     // blocks past the endurance budget
+  std::uint64_t remaps = 0;             // retired blocks migrated to spares
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Thrown by the machine when a configured cost / I/O ceiling is exceeded.
+/// The machine's counters remain valid and queryable, so the catcher can
+/// snapshot the full state at the point of abort.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  enum class Kind { kCost, kIos };
+
+  BudgetExceeded(Kind kind, std::uint64_t limit, std::uint64_t observed,
+                 IoStats at);
+
+  Kind kind() const { return kind_; }
+  std::uint64_t limit() const { return limit_; }
+  std::uint64_t observed() const { return observed_; }
+  /// The machine's I/O counters at the moment of the abort (the op that
+  /// crossed the ceiling is included).
+  IoStats at() const { return at_; }
+
+ private:
+  Kind kind_;
+  std::uint64_t limit_;
+  std::uint64_t observed_;
+  IoStats at_;
+};
+
+/// Thrown by the recovery layer when a block stays bad after the bounded
+/// retries (uncorrectable corruption, or a retired block with no spare).
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(bool is_write, std::uint32_t array, std::uint64_t block,
+             std::size_t attempts, const std::string& detail);
+
+  bool is_write() const { return is_write_; }
+  std::uint32_t array() const { return array_; }
+  std::uint64_t block() const { return block_; }
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  bool is_write_;
+  std::uint32_t array_;
+  std::uint64_t block_;
+  std::size_t attempts_;
+};
+
+/// FNV-1a 64 over a byte range — the per-block checksum of the recovery
+/// layer (exposed for tests).
+std::uint64_t fault_checksum(const void* data, std::size_t bytes);
+
+/// The seed-driven fault schedule plus endurance bookkeeping.  Installed on
+/// a Machine (Machine::install_faults); consulted by ExtArray on every
+/// block transfer.  Decisions are drawn from a counter-based stream, so the
+/// schedule is a pure function of (seed, sequence of draws).
+class FaultPolicy {
+ public:
+  explicit FaultPolicy(FaultConfig cfg);
+
+  const FaultConfig& config() const { return cfg_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Rewinds the schedule and clears all counters, wear counts, and
+  /// retirements — the state a fresh policy with the same config has.
+  void reset();
+
+  /// True if any fault kind can actually fire (rates or endurance set).
+  /// False for a pure budget-watchdog policy.
+  bool injects_faults() const {
+    return read_thresh_ != 0 || silent_thresh_ != 0 || torn_thresh_ != 0 ||
+           cfg_.endurance != 0;
+  }
+  bool has_ceiling() const { return cfg_.max_cost != 0 || cfg_.max_ios != 0; }
+
+  // --- schedule draws (each advances the deterministic stream) ------------
+  bool draw_read_fault();
+  /// kNone, kSilentWrite, or kTornWrite (one draw decides).
+  FaultKind draw_write_fault();
+  /// Raw draw used to pick corruption offsets / torn prefix lengths.
+  std::uint64_t draw_u64();
+
+  // --- endurance ----------------------------------------------------------
+  /// Records one lifetime write to a physical block and returns true if the
+  /// block is (now or already) retired.
+  bool record_write(std::uint32_t array, std::uint64_t block);
+  bool retired(std::uint32_t array, std::uint64_t block) const;
+  /// Lifetime write count of a physical block.
+  std::uint64_t lifetime_writes(std::uint32_t array, std::uint64_t block) const;
+
+  // --- recovery counters (bumped by ExtArray's recovery layer) ------------
+  void note_read_retry() { ++stats_.read_retries; }
+  void note_write_retry() { ++stats_.write_retries; }
+  void note_verify_failure() { ++stats_.verify_failures; }
+  void note_checksum_failure() { ++stats_.checksum_failures; }
+  void note_remap() { ++stats_.remaps; }
+
+  // --- ceilings (machine hot path) ----------------------------------------
+  /// Throws BudgetExceeded if the counters are past a configured ceiling.
+  void check_budget(const IoStats& s, std::uint64_t omega) const {
+    if (cfg_.max_cost != 0 && s.cost(omega) > cfg_.max_cost)
+      throw_budget(BudgetExceeded::Kind::kCost, cfg_.max_cost, s.cost(omega),
+                   s);
+    if (cfg_.max_ios != 0 && s.total_ios() > cfg_.max_ios)
+      throw_budget(BudgetExceeded::Kind::kIos, cfg_.max_ios, s.total_ios(), s);
+  }
+
+ private:
+  [[noreturn]] static void throw_budget(BudgetExceeded::Kind kind,
+                                        std::uint64_t limit,
+                                        std::uint64_t observed, IoStats at);
+
+  std::uint64_t draw(std::uint64_t salt);
+
+  FaultConfig cfg_;
+  // Rates pre-scaled to uint64 thresholds: a draw r faults iff r < thresh.
+  std::uint64_t read_thresh_ = 0;
+  std::uint64_t silent_thresh_ = 0;
+  std::uint64_t torn_thresh_ = 0;
+  std::uint64_t counter_ = 0;
+  FaultStats stats_;
+  // writes_[array][block] = lifetime write count (dense, like the machine's
+  // wear histogram; spare blocks get ids just past the logical range).
+  std::vector<std::vector<std::uint64_t>> writes_;
+};
+
+}  // namespace aem

@@ -143,6 +143,10 @@ class MemoryReservation {
 
   std::size_t elems() const { return elems_; }
 
+  /// True if this reservation is registered with a ledger (false for
+  /// default-constructed or moved-from reservations).
+  bool attached() const { return ledger_ != nullptr; }
+
  private:
   MemoryLedger* ledger_ = nullptr;
   std::size_t elems_ = 0;

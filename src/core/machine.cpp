@@ -14,6 +14,13 @@ void Machine::reset_stats() {
   clear_phase_stats();
   ledger_.reset_high_water();
   if (wear_) wear_->clear();
+  // Rewind the fault schedule too: a measured case that begins with
+  // reset_stats() sees the same faults whether or not staging ran before.
+  if (faults_) faults_->reset();
+}
+
+void Machine::install_faults(FaultConfig cfg) {
+  faults_ = std::make_unique<FaultPolicy>(cfg);
 }
 
 std::uint32_t Machine::intern_phase(std::string_view name) {
@@ -91,6 +98,7 @@ const std::string& Machine::array_name(std::uint32_t id) const {
 IoTicket Machine::on_read(std::uint32_t array, std::uint64_t block) {
   ++stats_.reads;
   attribute(/*is_write=*/false);
+  if (faults_) faults_->check_budget(stats_, cfg_.write_cost);
   if (trace_) return trace_->add(OpKind::kRead, array, block);
   return IoTicket{};
 }
@@ -98,6 +106,7 @@ IoTicket Machine::on_read(std::uint32_t array, std::uint64_t block) {
 IoTicket Machine::on_write(std::uint32_t array, std::uint64_t block) {
   ++stats_.writes;
   attribute(/*is_write=*/true);
+  if (faults_) faults_->check_budget(stats_, cfg_.write_cost);
   if (wear_) record_wear(array, block);
   if (trace_) return trace_->add(OpKind::kWrite, array, block);
   return IoTicket{};

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/faults.hpp"
 #include "core/ledger.hpp"
 #include "core/stats.hpp"
 #include "core/trace.hpp"
@@ -118,6 +119,17 @@ class Machine {
   };
   std::vector<ArrayWear> wear_by_array() const;
 
+  // --- fault injection & endurance (core/faults) ---------------------------
+  /// Installs (replacing any previous) a deterministic fault policy: from
+  /// now on ExtArray block transfers are subject to the configured fault
+  /// schedule, recovery machinery, and cost ceilings.  With no policy
+  /// installed the machine is the perfect device it always was — the hot
+  /// path only pays one null-pointer test, and Q is byte-identical.
+  void install_faults(FaultConfig cfg);
+  void clear_faults() { faults_.reset(); }
+  FaultPolicy* faults() { return faults_.get(); }
+  const FaultPolicy* faults() const { return faults_.get(); }
+
   // --- tracing -------------------------------------------------------------
   /// Starts recording ops into a fresh trace (dropping any previous one).
   void enable_trace();
@@ -169,6 +181,7 @@ class Machine {
   std::vector<std::uint32_t> active_phases_;
 
   std::unique_ptr<Trace> trace_;
+  std::unique_ptr<FaultPolicy> faults_;
   // wear_[array][block] = write count; vectors grow on demand (block indices
   // are dense within an array, so this is a flat histogram, not a map).
   std::optional<std::vector<std::vector<std::uint64_t>>> wear_;

@@ -97,6 +97,12 @@ MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
     }
   }
 
+  if (const FaultPolicy* fp = mach.faults()) {
+    s.faults_enabled = true;
+    s.fault_config = fp->config();
+    s.fault_stats = fp->stats();
+  }
+
   s.trace_enabled = mach.tracing();
   if (const Trace* tr = mach.trace()) s.trace_ops = tr->size();
 
@@ -149,6 +155,32 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << "}";
   }
   os << "]}";
+
+  {
+    const FaultConfig& fc = s.fault_config;
+    const FaultStats& fs = s.fault_stats;
+    os << ",\"faults\":{\"enabled\":" << fmt_bool(s.faults_enabled)
+       << ",\"seed\":" << fc.seed
+       << ",\"read_fault_rate\":" << fmt_double(fc.read_fault_rate)
+       << ",\"silent_write_rate\":" << fmt_double(fc.silent_write_rate)
+       << ",\"torn_write_rate\":" << fmt_double(fc.torn_write_rate)
+       << ",\"endurance\":" << fc.endurance
+       << ",\"spare_blocks\":" << fc.spare_blocks
+       << ",\"max_retries\":" << fc.max_retries
+       << ",\"verify_writes\":" << fmt_bool(fc.verify_writes)
+       << ",\"checksum_reads\":" << fmt_bool(fc.checksum_reads)
+       << ",\"max_cost\":" << fc.max_cost << ",\"max_ios\":" << fc.max_ios
+       << ",\"injected\":{\"read\":" << fs.read_faults
+       << ",\"silent_write\":" << fs.silent_write_faults
+       << ",\"torn_write\":" << fs.torn_write_faults
+       << ",\"retired_write\":" << fs.retired_writes << "}"
+       << ",\"recovery\":{\"read_retries\":" << fs.read_retries
+       << ",\"write_retries\":" << fs.write_retries
+       << ",\"verify_failures\":" << fs.verify_failures
+       << ",\"checksum_failures\":" << fs.checksum_failures
+       << ",\"retired_blocks\":" << fs.retired_blocks
+       << ",\"remaps\":" << fs.remaps << "}}";
+  }
 
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)
      << ",\"ops\":" << s.trace_ops << "}";

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/faults.hpp"
 #include "core/stats.hpp"
 
 namespace aem {
@@ -40,7 +41,7 @@ struct ArrayWearMetrics {
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v1";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v2";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -72,6 +73,12 @@ struct MetricsSnapshot {
   std::uint64_t wear_max_writes = 0;
   double wear_mean_writes = 0.0;
   std::vector<ArrayWearMetrics> wear_arrays;
+
+  // faults (v2: fault-injection config and counters; `faults.enabled` is
+  // false — and the counters zero — when no FaultPolicy is installed)
+  bool faults_enabled = false;
+  FaultConfig fault_config;
+  FaultStats fault_stats;
 
   // trace
   bool trace_enabled = false;

@@ -1,0 +1,15 @@
+#include "core/remap.hpp"
+
+#include <string>
+
+namespace aem {
+
+SparesExhausted::SparesExhausted(std::uint64_t logical, std::size_t capacity)
+    : std::runtime_error("spare blocks exhausted: logical block " +
+                         std::to_string(logical) +
+                         " needs a spare but all " + std::to_string(capacity) +
+                         " are consumed (device worn out)"),
+      logical_(logical),
+      capacity_(capacity) {}
+
+}  // namespace aem

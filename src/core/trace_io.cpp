@@ -1,5 +1,7 @@
 #include "core/trace_io.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -28,9 +30,34 @@ void write_trace(std::ostream& os, const Trace& trace) {
 Trace read_trace(std::istream& is) {
   Trace trace;
   std::string line;
-  std::size_t lineno = 0;
+  std::size_t lineno = 1;
+  if (!std::getline(is, line))
+    throw std::invalid_argument(
+        "trace: empty input (expected '# aem trace v1' header)");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  static const std::string kMagic = "# aem trace v1";
+  if (line.compare(0, kMagic.size(), kMagic) != 0)
+    throw std::invalid_argument(
+        "trace: not an aem trace (first line must begin with '" + kMagic +
+        "', got '" + line.substr(0, 40) + "')");
+  // The declared op count is cross-checked against the parsed count below.
+  // It is deliberately NOT used to pre-reserve storage, so a corrupted
+  // length field can produce an error message but never a huge allocation.
+  bool have_ops = false;
+  std::uint64_t declared_ops = 0;
+  if (const std::size_t pos = line.find("ops="); pos != std::string::npos) {
+    const std::string field = line.substr(pos + 4);
+    char* end = nullptr;
+    errno = 0;
+    declared_ops = std::strtoull(field.c_str(), &end, 10);
+    if (end == field.c_str() || errno == ERANGE)
+      throw std::invalid_argument("trace header: malformed ops count '" +
+                                  field + "'");
+    have_ops = true;
+  }
   while (std::getline(is, line)) {
     ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     char kind;
@@ -60,6 +87,15 @@ Trace read_trace(std::istream& is) {
         trace.set_atoms(t, std::move(ids));
       }
     }
+  }
+  if (have_ops && trace.size() != declared_ops) {
+    if (trace.size() < declared_ops)
+      throw std::invalid_argument(
+          "trace truncated: header declares " + std::to_string(declared_ops) +
+          " ops but only " + std::to_string(trace.size()) + " present");
+    throw std::invalid_argument(
+        "trace oversized: header declares " + std::to_string(declared_ops) +
+        " ops but " + std::to_string(trace.size()) + " present");
   }
   return trace;
 }

@@ -4,9 +4,12 @@
 // lower-bound machinery (rounds/, flash/); serializing them lets
 // experiments persist programs for offline analysis and diffing.
 //
-// Format (one op per line, '#' comments ignored):
+// Format:
+//   # aem trace v1, ops=<N>           mandatory magic/version header
 //   R <array> <block> [u <id>...]     read, optional use-set
 //   W <array> <block> [a <id>...]     write, optional atom list
+// Subsequent '#' lines and blank lines are ignored.  The ops=<N> count is
+// cross-checked on read: a truncated or padded file is rejected.
 #pragma once
 
 #include <iosfwd>
@@ -15,10 +18,14 @@
 
 namespace aem {
 
-/// Writes `trace` in the text format above.
+/// Writes `trace` in the text format above, header included.
 void write_trace(std::ostream& os, const Trace& trace);
 
-/// Parses a trace; throws std::invalid_argument on malformed input.
+/// Parses a trace; throws std::invalid_argument on any malformed input —
+/// missing/bad magic header, unparsable op lines, or an op count that does
+/// not match the header's ops=<N>.  The declared count is never used to
+/// pre-allocate, so corrupt headers cannot trigger pathological
+/// allocations.
 Trace read_trace(std::istream& is);
 
 }  // namespace aem

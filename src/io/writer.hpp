@@ -13,6 +13,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <exception>
 #include <limits>
 
 #include "core/ext_array.hpp"
@@ -38,7 +39,13 @@ class Writer {
   Writer(Writer&&) noexcept = default;
   Writer& operator=(Writer&&) noexcept = default;
 
-  ~Writer() { assert(buf_fill_ == 0 && "Writer destroyed with unflushed data"); }
+  // Unflushed data at destruction is a bug — except during stack unwinding
+  // (e.g. a BudgetExceeded or FaultError mid-write), where dropping the
+  // buffered tail is the only sane behavior.
+  ~Writer() {
+    assert((buf_fill_ == 0 || std::uncaught_exceptions() > 0) &&
+           "Writer destroyed with unflushed data");
+  }
 
   std::size_t position() const { return pos_ + buf_fill_; }
   std::size_t remaining() const { return end_ - position(); }

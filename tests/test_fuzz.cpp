@@ -319,25 +319,117 @@ TEST(TraceIoTest, RoundTrip) {
 }
 
 TEST(TraceIoTest, RejectsMalformedInput) {
+  const std::string hdr = "# aem trace v1, ops=1\n";
   {
-    std::stringstream ss("X 0 0\n");
+    std::stringstream ss(hdr + "X 0 0\n");
     EXPECT_THROW(read_trace(ss), std::invalid_argument);
   }
   {
-    std::stringstream ss("R 0\n");
+    std::stringstream ss(hdr + "R 0\n");
     EXPECT_THROW(read_trace(ss), std::invalid_argument);
   }
   {
-    std::stringstream ss("R 0 0 a 1 2\n");  // 'a' tag on a read
+    std::stringstream ss(hdr + "R 0 0 a 1 2\n");  // 'a' tag on a read
     EXPECT_THROW(read_trace(ss), std::invalid_argument);
   }
   {
-    std::stringstream ss("W 0 0 a 1 x\n");  // non-numeric id
+    std::stringstream ss(hdr + "W 0 0 a 1 x\n");  // non-numeric id
     EXPECT_THROW(read_trace(ss), std::invalid_argument);
   }
   {
+    // Magic-less files (old behavior: silently empty) are now rejected.
     std::stringstream ss("# only comments\n\n");
-    EXPECT_EQ(read_trace(ss).size(), 0u);
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("");  // empty input
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("R 0 0\n");  // body without header
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    // Truncated: header declares more ops than the body holds.
+    std::stringstream ss("# aem trace v1, ops=3\nR 0 0\n");
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    // Oversized: body holds more ops than the header declares.
+    std::stringstream ss("# aem trace v1, ops=1\nR 0 0\nW 0 1\n");
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    // Corrupted length field must error, not allocate.
+    std::stringstream ss("# aem trace v1, ops=banana\nR 0 0\n");
+    EXPECT_THROW(read_trace(ss), std::invalid_argument);
+  }
+  {
+    // Header without ops= is accepted (the count check is then skipped).
+    std::stringstream ss("# aem trace v1\nR 0 0\n");
+    EXPECT_EQ(read_trace(ss).size(), 1u);
+  }
+}
+
+TEST(TraceIoTest, CorruptedRoundTripFuzz) {
+  // Serialize random traces, mutilate the bytes (truncate, flip, splice),
+  // and re-parse: every outcome must be either a clean parse or
+  // std::invalid_argument — never a crash, hang, or huge allocation.
+  util::Rng rng(541);
+  for (int iter = 0; iter < 50; ++iter) {
+    Trace t;
+    const std::size_t ops = 1 + rng.below(40);
+    for (std::size_t i = 0; i < ops; ++i) {
+      const bool rd = rng.below(2) == 0;
+      IoTicket tk = t.add(rd ? OpKind::kRead : OpKind::kWrite,
+                          static_cast<std::uint32_t>(rng.below(8)),
+                          rng.below(1000));
+      const std::size_t nids = rng.below(4);
+      if (rd) {
+        for (std::size_t j = 0; j < nids; ++j) t.mark_used(tk, rng.below(500));
+      } else if (nids > 0) {
+        std::vector<std::uint64_t> atoms;
+        for (std::size_t j = 0; j < nids; ++j) atoms.push_back(rng.below(500));
+        t.set_atoms(tk, std::move(atoms));
+      }
+    }
+    std::stringstream clean;
+    write_trace(clean, t);
+    std::string bytes = clean.str();
+
+    switch (rng.below(4)) {
+      case 0:  // truncate at a random byte
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      case 1: {  // flip a random printable byte
+        if (!bytes.empty())
+          bytes[rng.below(bytes.size())] =
+              static_cast<char>('!' + rng.below(90));
+        break;
+      }
+      case 2: {  // splice a random chunk out of the middle
+        const std::size_t from = rng.below(bytes.size() + 1);
+        const std::size_t len = rng.below(bytes.size() - from + 1);
+        bytes.erase(from, len);
+        break;
+      }
+      default:  // leave intact: must round-trip exactly
+        break;
+    }
+
+    std::stringstream ss(bytes);
+    try {
+      Trace back = read_trace(ss);
+      // Parsed cleanly: re-serializing must be self-consistent.
+      std::stringstream again;
+      write_trace(again, back);
+      std::stringstream ss2(again.str());
+      Trace twice = read_trace(ss2);
+      EXPECT_EQ(twice.size(), back.size()) << "iter " << iter;
+      EXPECT_EQ(twice.stats(), back.stats()) << "iter " << iter;
+    } catch (const std::invalid_argument&) {
+      // Rejection with a typed error is the other acceptable outcome.
+    }
   }
 }
 

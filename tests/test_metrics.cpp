@@ -80,9 +80,11 @@ TEST(MetricsTest, SnapshotOfFreshMachineIsEmptyButValid) {
   EXPECT_FALSE(s.wear_enabled);
   EXPECT_FALSE(s.trace_enabled);
   const std::string j = to_json(s);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v1\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v2\""),
             std::string::npos);
   EXPECT_NE(j.find("\"phases\":[]"), std::string::npos);
+  // Without an installed FaultPolicy the faults section reports defaults.
+  EXPECT_NE(j.find("\"faults\":{\"enabled\":false"), std::string::npos);
 }
 
 TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
@@ -96,12 +98,13 @@ TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
   const std::string j = to_json(snapshot_metrics(mach, "case-1"));
   EXPECT_EQ(j.find('\n'), std::string::npos);  // one line per snapshot
   for (const char* needle :
-       {"\"schema\":\"aem.machine.metrics/v1\"", "\"label\":\"case-1\"",
+       {"\"schema\":\"aem.machine.metrics/v2\"", "\"label\":\"case-1\"",
         "\"config\":{\"memory_elems\":64,\"block_elems\":8,\"write_cost\":4",
         "\"io\":{\"reads\":1,\"writes\":1,\"total\":2,\"cost\":5}",
         "\"name\":\"sort.merge\"", "\"ledger\":", "\"poisoned\":false",
-        "\"wear\":{\"enabled\":false", "\"trace\":{\"enabled\":false",
-        "\"arrays\":[\"in\"]"}) {
+        "\"wear\":{\"enabled\":false", "\"faults\":{\"enabled\":false",
+        "\"injected\":{\"read\":0", "\"recovery\":{\"read_retries\":0",
+        "\"trace\":{\"enabled\":false", "\"arrays\":[\"in\"]"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle
                                                  << " in " << j;
   }

@@ -6,7 +6,7 @@
 // Reads a trace in the core/trace_io.hpp text format and prints its I/O
 // statistics; with --rounds, its Section 4 round decomposition; with
 // --rewrite, the Lemma 4.1 round-based rewrite and the measured constant;
-// with --json, a machine-metrics snapshot (schema aem.machine.metrics/v1,
+// with --json, a machine-metrics snapshot (schema aem.machine.metrics/v2,
 // same as the bench --metrics output) including the write-wear histogram
 // reconstructed from the trace.  Traces are produced by any Machine with
 // tracing enabled and write_trace(); see examples/permute_pipeline.cpp.
@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <new>
 
 #include "core/metrics.hpp"
 #include "core/trace.hpp"
@@ -135,6 +136,11 @@ int main(int argc, char** argv) {
                 << ")\n  rounds: " << rb.rounds.size() << "\n";
     }
     return 0;
+  } catch (const std::bad_alloc&) {
+    // A corrupt trace can still imply absurd per-line id lists; fail with a
+    // clear message instead of an unhandled-exception abort.
+    std::cerr << "aem_trace: out of memory reading trace (corrupt file?)\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "aem_trace: " << e.what() << "\n";
     return 1;
