@@ -63,7 +63,7 @@ inline void emit(const util::Table& t, const std::string& title,
 }
 
 /// Appends one machine-metrics JSON snapshot (one line, schema
-/// aem.machine.metrics/v2) to `path`.  Like emit(), the first use of a path
+/// aem.machine.metrics/v3) to `path`.  Like emit(), the first use of a path
 /// in a run truncates the file, so re-running a bench replaces its metrics
 /// log instead of growing it.  No-op when `path` is empty, so benches can
 /// call it unconditionally and let --metrics=FILE opt in.

@@ -289,6 +289,42 @@ int main(int argc, char** argv) {
                  "without a zero-rate policy\n\n";
   }
 
+  // The same hard guard for the block cache's bypass mode: a config that
+  // requests capacity 0 installs no pool at all, so ExtArray traffic — the
+  // path the cache dispatch lives on — must be byte-identical to a machine
+  // that never heard of caches.
+  {
+    auto drive = [](Machine& mach) {
+      ExtArray<std::uint64_t> arr(mach, 1024, "hot");
+      Buffer<std::uint64_t> buf(mach, mach.B());
+      const std::uint64_t blocks = arr.blocks();
+      for (std::uint64_t i = 0; i < 4 * blocks; ++i) {
+        const std::uint64_t bi = (i * 7) % blocks;
+        arr.read_block(bi, buf.span());
+        buf[0] = i;
+        arr.write_block(bi, std::span<const std::uint64_t>(
+                                buf.data(), arr.block_elems(bi)));
+      }
+    };
+    Machine plain(cfg);
+    drive(plain);
+    Config off = cfg;
+    off.cache.capacity_blocks = 0;  // explicit bypass
+    off.cache.policy = CachePolicy::kCleanFirst;
+    Machine bypass(off);
+    drive(bypass);
+    if (bypass.cache() != nullptr || !(plain.stats() == bypass.stats()) ||
+        plain.cost() != bypass.cost()) {
+      std::cerr << "FAIL: capacity-0 cache config perturbed the counters "
+                   "(reads " << plain.stats().reads << " vs "
+                << bypass.stats().reads << ", cost " << plain.cost() << " vs "
+                << bypass.cost() << ")\n";
+      return 1;
+    }
+    std::cout << "cache bypass guard: counters byte-identical with and "
+                 "without a capacity-0 cache config\n\n";
+  }
+
   const double speedup = phased_mops / legacy_mops;
   std::cout << "phase-attributed I/O speedup vs seed: " << util::fmt(speedup, 2)
             << "x  (floor " << util::fmt(min_speedup, 1) << "x)\n\n";

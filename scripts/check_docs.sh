@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Docs <-> code consistency check.  Docs rot silently: a renamed bench
+# binary, a bumped metrics schema, or a new src/ subsystem leaves stale
+# references nothing else catches.  This script makes the documented
+# surface a CI invariant:
+#
+#   1. every bench binary a doc names exists in the build tree;
+#   2. every scripts/*.sh path a doc names exists (and is executable);
+#   3. every example/tool source a doc names exists in the repo;
+#   4. every aem.machine.metrics/v* schema string in the docs matches the
+#      single source of truth, MetricsSnapshot::kSchema in
+#      src/core/metrics.hpp;
+#   5. docs/ARCHITECTURE.md covers EVERY src/ subdirectory.
+#
+# Scope: the maintained doc set (README, DESIGN, EXPERIMENTS, docs/*).
+# CHANGES.md / ISSUE.md / ROADMAP.md are historical logs and exempt.
+#
+# Usage: scripts/check_docs.sh [build-dir]     (default: build)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+# Accept absolute, cwd-relative (how ci_sanitize.sh invokes cmake), or
+# repo-relative build dirs.
+if [[ "$BUILD_DIR" != /* ]]; then
+  if [[ -d "$BUILD_DIR" ]]; then BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+  else BUILD_DIR="$REPO/$BUILD_DIR"; fi
+fi
+
+DOCS=(
+  "$REPO/README.md"
+  "$REPO/DESIGN.md"
+  "$REPO/EXPERIMENTS.md"
+  "$REPO/docs/MODEL.md"
+  "$REPO/docs/ARCHITECTURE.md"
+)
+
+fail=0
+err() { echo "check_docs FAIL: $*" >&2; fail=1; }
+
+for d in "${DOCS[@]}"; do
+  [[ -f "$d" ]] || err "doc missing: ${d#"$REPO"/}"
+done
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  err "build dir $BUILD_DIR has no bench/ — build the tree first"
+  exit 1
+fi
+
+# --- 1. bench binaries -----------------------------------------------------
+# Binary names follow bench_<letter><digits>_<suffix> (bench_e1_merge,
+# bench_m0_overhead, ...); the pattern deliberately misses bench_common.hpp
+# and bench_output.txt.
+mapfile -t bench_refs < <(grep -hoE 'bench_[a-z][0-9]+_[a-z_]+' "${DOCS[@]}" | sort -u)
+[[ ${#bench_refs[@]} -gt 0 ]] || err "no bench binary references found in docs (pattern broke?)"
+for b in "${bench_refs[@]}"; do
+  [[ -x "$BUILD_DIR/bench/$b" ]] || err "docs reference $b but $BUILD_DIR/bench/$b is not built"
+done
+
+# --- 2. script paths -------------------------------------------------------
+mapfile -t script_refs < <(grep -hoE 'scripts/[A-Za-z0-9_]+\.sh' "${DOCS[@]}" | sort -u)
+for s in "${script_refs[@]}"; do
+  [[ -x "$REPO/$s" ]] || err "docs reference $s but it does not exist (or is not executable)"
+done
+
+# --- 3. example / tool sources ---------------------------------------------
+mapfile -t src_refs < <(grep -hoE '(examples|tools)/[A-Za-z0-9_]+\.(cpp|hpp)' "${DOCS[@]}" | sort -u)
+for f in "${src_refs[@]}"; do
+  [[ -f "$REPO/$f" ]] || err "docs reference $f but it does not exist"
+done
+
+# --- 4. metrics schema string ----------------------------------------------
+schema="$(grep -oE 'aem\.machine\.metrics/v[0-9]+' "$REPO/src/core/metrics.hpp" | head -1)"
+[[ -n "$schema" ]] || { err "cannot find kSchema in src/core/metrics.hpp"; exit 1; }
+while read -r ref; do
+  [[ "$ref" == "$schema" ]] || err "docs mention schema $ref but code says $schema"
+done < <(grep -hoE 'aem\.machine\.metrics/v[0-9]+' "${DOCS[@]}" | sort -u)
+
+# --- 5. ARCHITECTURE.md covers every src/ subdirectory ----------------------
+for dir in "$REPO"/src/*/; do
+  name="$(basename "$dir")"
+  grep -q "src/$name" "$REPO/docs/ARCHITECTURE.md" ||
+    err "docs/ARCHITECTURE.md does not cover src/$name"
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs passed: ${#bench_refs[@]} bench binaries, ${#script_refs[@]} scripts," \
+     "${#src_refs[@]} example/tool sources, schema $schema, all src/ subdirs covered"

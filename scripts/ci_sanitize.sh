@@ -35,4 +35,10 @@ UBSAN_OPTIONS="print_stacktrace=1" \
 AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=7 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection pass)"
+# Third pass: docs consistency.  The sanitize build compiles every bench
+# target, so the freshly built tree is exactly what the docs checker needs
+# to verify that documented binaries/scripts/schema strings are real.
+echo "=== docs consistency pass (scripts/check_docs.sh) ==="
+"$(dirname "$0")/check_docs.sh" "$BUILD_DIR"
+
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection and docs passes)"

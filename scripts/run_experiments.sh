@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E10, A1-A2, M0, R1) and collects
-# CSVs plus machine-metrics JSON snapshots (schema aem.machine.metrics/v2,
+# Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1) and collects
+# CSVs plus machine-metrics JSON snapshots (schema aem.machine.metrics/v3,
 # one JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
@@ -38,16 +38,30 @@ FAULT_KEYS = {"enabled", "seed", "read_fault_rate", "silent_write_rate",
               "torn_write_rate", "endurance", "spare_blocks", "max_retries",
               "verify_writes", "checksum_reads", "max_cost", "max_ios",
               "injected", "recovery"}
+CACHE_KEYS = {"enabled", "policy", "capacity_blocks", "clean_window",
+              "read_hits", "read_misses", "write_hits", "write_misses",
+              "evictions_clean", "evictions_dirty", "write_backs", "flushes",
+              "invalidated_dirty", "resident", "resident_dirty"}
 total = 0
 faulty_runs = 0
+cached_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v2", \
+        assert snap.get("schema") == "aem.machine.metrics/v3", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
             f"{f.name}:{i}: malformed faults section {faults!r}"
+        cache = snap.get("cache")
+        assert isinstance(cache, dict) and CACHE_KEYS <= cache.keys(), \
+            f"{f.name}:{i}: malformed cache section {cache!r}"
+        if cache["enabled"]:
+            cached_runs += 1
+            # Deferred writes must have been flushed before the snapshot
+            # was taken, or Q under-reports the algorithm's writes.
+            assert cache["resident_dirty"] == 0, \
+                f"{f.name}:{i}: snapshot taken with unflushed dirty blocks"
         if faults["enabled"]:
             faulty_runs += 1
         total += 1
@@ -62,8 +76,18 @@ assert any(s["faults"]["injected"]["read"] > 0 or
            s["faults"]["recovery"]["write_retries"] > 0
            for s in r1_active), \
     "bench_r1_faults: fault schedules never fired"
+# bench_c1_cache must have produced cache-enabled snapshots whose pools
+# actually absorbed traffic (hits + coalesced writes).
+c1 = out / "bench_c1_cache.metrics.jsonl"
+assert c1.exists(), "bench_c1_cache produced no metrics file"
+c1_active = [json.loads(l) for l in c1.read_text().splitlines()
+             if json.loads(l)["cache"]["enabled"]]
+assert c1_active, "bench_c1_cache: no cache-enabled snapshots"
+assert any(s["cache"]["read_hits"] > 0 and s["cache"]["write_hits"] > 0
+           for s in c1_active), \
+    "bench_c1_cache: the pool never absorbed any traffic"
 print(f"validated {total} machine-metrics snapshots "
-      f"({faulty_runs} fault-enabled) "
+      f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

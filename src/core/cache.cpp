@@ -1,0 +1,221 @@
+#include "core/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aem {
+
+const char* to_string(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::kLru: return "lru";
+    case CachePolicy::kClock: return "clock";
+    case CachePolicy::kCleanFirst: return "clean-first";
+  }
+  return "?";
+}
+
+void CacheConfig::validate() const {
+  if (clean_window > capacity_blocks)
+    throw std::invalid_argument(
+        "CacheConfig: clean_window exceeds capacity_blocks");
+}
+
+BlockCache::BlockCache(CacheConfig cfg, std::uint64_t omega) : cfg_(cfg) {
+  cfg_.validate();
+  if (cfg_.capacity_blocks == 0)
+    throw std::invalid_argument(
+        "BlockCache: capacity 0 is bypass mode — install no cache instead");
+  if (cfg_.capacity_blocks >= kNil)
+    throw std::invalid_argument("BlockCache: capacity too large");
+  frames_.resize(cfg_.capacity_blocks);
+  // Free slots popped back-to-front, so frame 0 is used first (stable,
+  // deterministic layout for tests and the CLOCK hand).
+  free_.resize(cfg_.capacity_blocks);
+  for (std::size_t i = 0; i < free_.size(); ++i)
+    free_[i] = static_cast<std::uint32_t>(free_.size() - 1 - i);
+  if (cfg_.policy == CachePolicy::kCleanFirst) {
+    if (cfg_.clean_window != 0) {
+      window_ = cfg_.clean_window;
+    } else if (omega > 1) {
+      const std::size_t cap = cfg_.capacity_blocks;
+      window_ = cap - std::max<std::size_t>(
+                          1, cap / static_cast<std::size_t>(
+                                 std::min<std::uint64_t>(omega, cap)));
+    }
+    // omega == 1: window stays 0 and the policy is exact LRU.
+  }
+}
+
+void BlockCache::list_push_front(std::uint32_t frame) {
+  Frame& f = frames_[frame];
+  f.prev = kNil;
+  f.next = head_;
+  if (head_ != kNil) frames_[head_].prev = frame;
+  head_ = frame;
+  if (tail_ == kNil) tail_ = frame;
+}
+
+void BlockCache::list_unlink(std::uint32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.prev != kNil) {
+    frames_[f.prev].next = f.next;
+  } else {
+    head_ = f.next;
+  }
+  if (f.next != kNil) {
+    frames_[f.next].prev = f.prev;
+  } else {
+    tail_ = f.prev;
+  }
+  f.prev = f.next = kNil;
+}
+
+void BlockCache::touch(std::uint32_t frame) {
+  switch (cfg_.policy) {
+    case CachePolicy::kClock:
+      frames_[frame].ref = true;
+      break;
+    case CachePolicy::kLru:
+    case CachePolicy::kCleanFirst:
+      if (head_ != frame) {
+        list_unlink(frame);
+        list_push_front(frame);
+      }
+      break;
+  }
+}
+
+std::uint32_t BlockCache::pick_victim() {
+  switch (cfg_.policy) {
+    case CachePolicy::kClock: {
+      // Second chance: sweep the frame table circularly, clearing
+      // reference bits; the first unreferenced valid frame is the victim.
+      // Terminates: one full sweep clears every bit.
+      for (;;) {
+        Frame& f = frames_[clock_hand_];
+        const std::size_t here = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % frames_.size();
+        if (!f.valid) continue;
+        if (f.ref) {
+          f.ref = false;
+          continue;
+        }
+        return static_cast<std::uint32_t>(here);
+      }
+    }
+    case CachePolicy::kCleanFirst: {
+      // Scan up to window() blocks from the cold end for a clean victim;
+      // a clean eviction costs at most one future read, a dirty one a
+      // certain omega-priced write-back.  No clean block in the window
+      // (or window 0, the omega = 1 degeneration): plain LRU.
+      std::uint32_t f = tail_;
+      for (std::size_t scanned = 0; f != kNil && scanned < window_;
+           ++scanned, f = frames_[f].prev) {
+        if (!frames_[f].dirty) return f;
+      }
+      return tail_;
+    }
+    case CachePolicy::kLru:
+      return tail_;
+  }
+  return tail_;
+}
+
+void BlockCache::evict_one() {
+  const std::uint32_t v = pick_victim();
+  Frame& f = frames_[v];
+  if (f.dirty) {
+    // May throw (BudgetExceeded, FaultError): nothing has been mutated
+    // yet, so the victim simply stays resident and dirty.
+    sinks_[f.array]->cache_write_back(f.block);
+    ++stats_.write_backs;
+    ++stats_.evictions_dirty;
+    --resident_dirty_;
+    f.dirty = false;
+  } else {
+    ++stats_.evictions_clean;
+  }
+  index_[f.array].erase(f.block);
+  list_unlink(v);
+  f.valid = false;
+  f.ref = false;
+  --resident_;
+  free_.push_back(v);
+}
+
+void BlockCache::insert(std::uint32_t array, std::uint64_t block, bool dirty,
+                        Sink* sink) {
+  if (array >= index_.size()) {
+    index_.resize(array + 1);
+    sinks_.resize(array + 1, nullptr);
+  }
+  sinks_[array] = sink;
+  if (free_.empty()) evict_one();
+  const std::uint32_t slot = free_.back();
+  free_.pop_back();
+  Frame& f = frames_[slot];
+  f.array = array;
+  f.block = block;
+  f.valid = true;
+  f.dirty = dirty;
+  f.ref = true;
+  list_push_front(slot);
+  index_[array].emplace(block, Entry{slot});
+  ++resident_;
+  if (dirty) ++resident_dirty_;
+}
+
+void BlockCache::move_sink(std::uint32_t array, Sink* sink) {
+  if (array < sinks_.size()) sinks_[array] = sink;
+}
+
+std::size_t BlockCache::flush() {
+  ++stats_.flushes;
+  // Deterministic order regardless of hash-map iteration: collect and sort.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> dirty_blocks;
+  dirty_blocks.reserve(resident_dirty_);
+  for (const Frame& f : frames_)
+    if (f.valid && f.dirty) dirty_blocks.emplace_back(f.array, f.block);
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  std::size_t written = 0;
+  for (const auto& [array, block] : dirty_blocks) {
+    sinks_[array]->cache_write_back(block);  // may throw; see header
+    Frame& f = frames_[lookup(array, block)->frame];
+    f.dirty = false;
+    --resident_dirty_;
+    ++stats_.write_backs;
+    ++written;
+  }
+  return written;
+}
+
+void BlockCache::invalidate_array(std::uint32_t array) {
+  if (array >= index_.size() || index_[array].empty()) return;
+  // Deterministic frame-order sweep (the map's iteration order is not).
+  for (std::uint32_t v = 0; v < frames_.size(); ++v) {
+    Frame& f = frames_[v];
+    if (!f.valid || f.array != array) continue;
+    if (f.dirty) {
+      ++stats_.invalidated_dirty;
+      --resident_dirty_;
+    }
+    list_unlink(v);
+    f.valid = false;
+    f.dirty = false;
+    f.ref = false;
+    --resident_;
+    free_.push_back(v);
+  }
+  index_[array].clear();
+}
+
+bool BlockCache::contains(std::uint32_t array, std::uint64_t block) const {
+  return lookup(array, block) != nullptr;
+}
+
+bool BlockCache::dirty(std::uint32_t array, std::uint64_t block) const {
+  const Entry* e = lookup(array, block);
+  return e != nullptr && frames_[e->frame].dirty;
+}
+
+}  // namespace aem

@@ -1,0 +1,247 @@
+// Asymmetry-aware write-back block cache (buffer pool) for the AEM machine.
+//
+// A BlockCache sits between ExtArray block traffic and the Machine's cost
+// counters: reads and writes of resident blocks are served from the pool
+// for free, writes dirty their block instead of paying omega immediately,
+// and the deferred device write is charged once — at eviction or flush —
+// no matter how many times the block was rewritten while resident.  That
+// write coalescing is exactly what a buffer pool buys on write-expensive
+// memory, and the eviction policy decides who pays for it:
+//
+//  * kLru        — classic least-recently-used, the symmetric-cost default;
+//  * kClock      — second-chance approximation of LRU (reference bits);
+//  * kCleanFirst — the asymmetry-aware policy (CFLRU-style): evicting a
+//    clean block costs a possible future read (1), evicting a dirty block
+//    costs a certain write (omega) plus the future read, so the policy
+//    scans a window of coldest blocks for a clean victim before giving up
+//    and evicting the true LRU block.  The window is derived from the
+//    machine's omega (capacity - max(1, capacity/omega)), so at omega = 1
+//    the window is empty and the policy degenerates to exact LRU — the
+//    classic EM special case stays classic.
+//
+// The pool models a device-side buffer (an SSD's DRAM cache, a controller
+// buffer): its capacity does NOT count against the algorithm's internal
+// memory M, and its hits produce no machine I/O, no trace ops, and no wear.
+// Write-backs are real charged writes that go through the full ExtArray
+// device path — under an installed FaultPolicy they can fault, retry,
+// verify, and retire blocks like any other write.
+//
+// Capacity 0 is the strict bypass mode: no cache object is installed and
+// the transfer path — and therefore Q — is byte-identical to the uncached
+// library (enforced by a hard guard in bench_m0_overhead, same pattern as
+// the fault subsystem's zero-rate guarantee).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace aem {
+
+/// Eviction policy of the block cache.
+enum class CachePolicy : std::uint8_t {
+  kLru,         // least recently used
+  kClock,       // second-chance / reference bits
+  kCleanFirst,  // asymmetry-aware: prefer clean victims in a cold window
+};
+
+const char* to_string(CachePolicy p);
+
+struct CacheConfig {
+  /// Pool capacity in blocks.  0 = bypass: no cache is installed and the
+  /// I/O path is byte-identical to the uncached library.
+  std::size_t capacity_blocks = 0;
+
+  CachePolicy policy = CachePolicy::kLru;
+
+  /// kCleanFirst only: how many blocks, counted from the cold (LRU) end,
+  /// are scanned for a clean victim before the true LRU block is evicted.
+  /// 0 = derive from the machine's omega at install time:
+  /// capacity - max(1, capacity/omega), which is 0 (exact LRU) at omega = 1
+  /// and approaches capacity - 1 (protect only the MRU block) as omega
+  /// grows.  Ignored by kLru / kClock.
+  std::size_t clean_window = 0;
+
+  /// Throws std::invalid_argument on an inconsistent configuration.
+  void validate() const;
+};
+
+/// Counters of everything the cache did.  Flows into the metrics snapshot
+/// (schema aem.machine.metrics/v3, docs/MODEL.md sec. 11).
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;   // each paid one charged device read
+  std::uint64_t write_hits = 0;    // rewrite of a resident block: free
+  std::uint64_t write_misses = 0;  // write-allocate, no device I/O yet
+  std::uint64_t evictions_clean = 0;
+  std::uint64_t evictions_dirty = 0;  // each paid one charged device write
+  std::uint64_t write_backs = 0;      // dirty evictions + flush writes
+  std::uint64_t flushes = 0;          // flush() calls
+  /// Dirty blocks dropped WITHOUT a write-back: their array was destroyed
+  /// or restaged (unsafe_host_fill), so there was no storage left to
+  /// persist to.  Nonzero here means Q excludes those writes — flush
+  /// before tearing down arrays if full accounting matters.
+  std::uint64_t invalidated_dirty = 0;
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+/// The buffer pool proper: a fixed set of block frames, an eviction policy,
+/// and per-array write-back sinks.  Holds metadata only — the cached bytes
+/// live in the owning ExtArray, which registers a Sink so evictions can
+/// push dirty blocks back through the charged (and possibly faulty) device
+/// write path.  Owned by Machine (Machine::install_cache); consulted by
+/// ExtArray on every block transfer.  Deterministic: identical op
+/// sequences produce identical hits, victims, and charges.
+class BlockCache {
+ public:
+  /// Write-back target of one array, implemented by ExtArray<T>.  The sink
+  /// must perform a charged device write of the block's current (pool)
+  /// contents; under fault injection that write retries, verifies, and
+  /// remaps like any other.
+  class Sink {
+   public:
+    virtual void cache_write_back(std::uint64_t block) = 0;
+
+   protected:
+    ~Sink() = default;
+  };
+
+  /// `omega` parameterizes the kCleanFirst auto window; capacity must be
+  /// nonzero (capacity 0 means bypass — don't construct a cache at all).
+  BlockCache(CacheConfig cfg, std::uint64_t omega);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  const CacheConfig& config() const { return cfg_; }
+  std::size_t capacity() const { return frames_.size(); }
+  /// The effective kCleanFirst window (0 for other policies).
+  std::size_t window() const { return window_; }
+
+  const CacheStats& stats() const { return stats_; }
+  /// Clears the counters only; resident blocks and dirtiness are kept
+  /// (their deferred write-backs will charge whoever runs next, which is
+  /// why measured cases should flush() before reset).
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  std::size_t resident() const { return resident_; }
+  std::size_t resident_dirty() const { return resident_dirty_; }
+
+  // --- the ExtArray-facing hot path ---------------------------------------
+  /// Lookup for a read; on a hit the block is touched (policy-specific) and
+  /// true is returned — serve the data from the pool, charge nothing.
+  bool find_read(std::uint32_t array, std::uint64_t block) {
+    Entry* e = lookup(array, block);
+    if (e == nullptr) {
+      ++stats_.read_misses;
+      return false;
+    }
+    ++stats_.read_hits;
+    touch(e->frame);
+    return true;
+  }
+
+  /// Lookup for a write; on a hit the block is touched and marked dirty.
+  bool find_write(std::uint32_t array, std::uint64_t block) {
+    Entry* e = lookup(array, block);
+    if (e == nullptr) {
+      ++stats_.write_misses;
+      return false;
+    }
+    ++stats_.write_hits;
+    Frame& f = frames_[e->frame];
+    if (!f.dirty) {
+      f.dirty = true;
+      ++resident_dirty_;
+    }
+    touch(e->frame);
+    return true;
+  }
+
+  /// Makes `block` resident (it must not already be), evicting a victim if
+  /// the pool is full.  A dirty victim is written back through its sink
+  /// BEFORE the insertion mutates anything, so an exception thrown by the
+  /// write-back (BudgetExceeded, FaultError) leaves the victim resident
+  /// and dirty, and the new block simply not cached.  `sink` is remembered
+  /// as the array's write-back target.
+  void insert(std::uint32_t array, std::uint64_t block, bool dirty,
+              Sink* sink);
+
+  /// Re-points an array's write-back sink (ExtArray move support).
+  void move_sink(std::uint32_t array, Sink* sink);
+
+  /// Writes back every dirty block (deterministically, in ascending
+  /// (array, block) order) and marks it clean; resident blocks stay
+  /// resident.  Returns the number of charged write-backs.  On an
+  /// exception mid-flush, already-flushed blocks are clean, the failing
+  /// one stays dirty, and flush() can simply be called again.
+  std::size_t flush();
+
+  /// Drops every entry of `array` WITHOUT write-backs (the array's storage
+  /// is going away: destruction or restaging).  Dirty drops are counted in
+  /// stats().invalidated_dirty.
+  void invalidate_array(std::uint32_t array);
+
+  // --- introspection (tests, metrics) -------------------------------------
+  bool contains(std::uint32_t array, std::uint64_t block) const;
+  bool dirty(std::uint32_t array, std::uint64_t block) const;
+
+ private:
+  static constexpr std::uint32_t kNil =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Frame {
+    std::uint32_t array = 0;
+    std::uint64_t block = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool ref = false;  // kClock reference bit
+    // Recency list links (head = MRU, tail = LRU).
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  struct Entry {
+    std::uint32_t frame;
+  };
+
+  Entry* lookup(std::uint32_t array, std::uint64_t block) {
+    if (array >= index_.size()) return nullptr;
+    auto it = index_[array].find(block);
+    return it == index_[array].end() ? nullptr : &it->second;
+  }
+  const Entry* lookup(std::uint32_t array, std::uint64_t block) const {
+    return const_cast<BlockCache*>(this)->lookup(array, block);
+  }
+
+  void touch(std::uint32_t frame);
+  void list_push_front(std::uint32_t frame);
+  void list_unlink(std::uint32_t frame);
+
+  /// Picks the policy's victim frame (the pool must be full).
+  std::uint32_t pick_victim();
+  /// Writes back (if dirty) and removes the victim.  May throw from the
+  /// write-back; in that case the victim is untouched.
+  void evict_one();
+
+  CacheConfig cfg_;
+  std::size_t window_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<std::uint32_t> free_;  // unused frame slots (LIFO)
+  // index_[array][block] -> frame.  Array ids are dense machine handles,
+  // so a vector of per-array maps beats hashing the pair.
+  std::vector<std::unordered_map<std::uint64_t, Entry>> index_;
+  std::vector<Sink*> sinks_;
+  std::uint32_t head_ = kNil;  // MRU
+  std::uint32_t tail_ = kNil;  // LRU
+  std::size_t clock_hand_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t resident_dirty_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace aem

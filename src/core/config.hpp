@@ -15,6 +15,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/cache.hpp"
 #include "util/math.hpp"
 
 namespace aem {
@@ -31,6 +32,10 @@ struct Config {
   /// Capacity multiplier: Lemma 4.1 simulates a program on a 2M machine, so
   /// round-based replays set this to 2.  Capacity = memory_elems * factor.
   double capacity_factor = 1.0;
+  /// Optional write-back block cache (core/cache.hpp).  The default —
+  /// capacity 0 — is strict bypass: no pool is created and the I/O path is
+  /// byte-identical to the uncached machine.
+  CacheConfig cache{};
 
   /// m = ceil(M / B): number of blocks that fit in internal memory.
   std::size_t m() const { return util::ceil_div(memory_elems, block_elems); }
@@ -66,6 +71,7 @@ struct Config {
     if (write_cost == 0) throw std::invalid_argument("omega must be >= 1");
     if (capacity_factor < 1.0)
       throw std::invalid_argument("capacity_factor must be >= 1");
+    cache.validate();
   }
 };
 

@@ -15,6 +15,13 @@
 // charged I/Os.  With no policy installed, the code path is byte-identical
 // to the perfect device.
 //
+// When the machine has a BlockCache installed (core/cache.hpp), ExtArray
+// routes every transfer through it: hits are served from the pool (no
+// charge, no trace op, no wear), writes dirty their block instead of paying
+// omega, and eviction/flush write-backs re-enter the charged device path —
+// including the full fault/recovery machinery — via the Sink interface.
+// With no cache installed (capacity 0), the path is again byte-identical.
+//
 // Buffer<T> is the internal-memory counterpart: an RAII allocation
 // registered with the machine's MemoryLedger, so the ledger's high-water
 // mark bounds the algorithm's true internal-memory footprint.
@@ -32,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache.hpp"
 #include "core/faults.hpp"
 #include "core/machine.hpp"
 #include "core/remap.hpp"
@@ -48,7 +56,7 @@ struct BlockIo {
 };
 
 template <class T>
-class ExtArray {
+class ExtArray : private BlockCache::Sink {
   /// Checksums hash object representations, so they are only sound for
   /// types whose value determines every byte (no padding, no NaN aliasing).
   /// For other types the recovery layer falls back to per-block
@@ -70,24 +78,36 @@ class ExtArray {
         data_(elems) {}
 
   /// Moved-from arrays become machine-less placeholders (operations throw
-  /// std::logic_error) instead of silently aliasing the old machine.
+  /// std::logic_error) instead of silently aliasing the old machine.  The
+  /// machine's block cache (if any) is re-pointed at the new object, so
+  /// pending write-backs of this array's blocks keep working.
   ExtArray(ExtArray&& o) noexcept
       : mach_(std::exchange(o.mach_, nullptr)),
         id_(std::exchange(o.id_, 0)),
         data_(std::move(o.data_)),
         atom_of_(std::move(o.atom_of_)),
-        rec_(std::move(o.rec_)) {}
+        rec_(std::move(o.rec_)) {
+    repoint_cache_sink();
+  }
 
   ExtArray& operator=(ExtArray&& o) noexcept {
     if (this != &o) {
+      drop_cache_entries();  // this object's storage is being replaced
       mach_ = std::exchange(o.mach_, nullptr);
       id_ = std::exchange(o.id_, 0);
       data_ = std::move(o.data_);
       atom_of_ = std::move(o.atom_of_);
       rec_ = std::move(o.rec_);
+      repoint_cache_sink();
     }
     return *this;
   }
+
+  /// Dirty cached blocks of a dying array are dropped WITHOUT write-backs
+  /// (there is no storage left to persist to); the drop is counted in
+  /// CacheStats::invalidated_dirty.  Flush the machine's cache first if
+  /// full Q accounting matters.  Arrays must not outlive their machine.
+  ~ExtArray() { drop_cache_entries(); }
 
   ExtArray(const ExtArray&) = delete;
   ExtArray& operator=(const ExtArray&) = delete;
@@ -113,11 +133,12 @@ class ExtArray {
 
   /// Reads block `bi` into `dst` (which must hold >= block_elems(bi)
   /// elements).  Charges one read I/O — plus, under fault injection, one
-  /// read per checksum-triggered retry.
+  /// read per checksum-triggered retry.  A block-cache hit charges nothing.
   BlockIo read_block(std::uint64_t bi, std::span<T> dst) const {
     const std::size_t count = block_elems(bi);
     if (dst.size() < count)
       throw std::invalid_argument("read_block: destination too small");
+    if (BlockCache* bc = mach_->cache()) return cached_read(*bc, bi, dst, count);
     FaultPolicy* fp = mach_->faults();
     if (fp == nullptr || !fp->injects_faults()) {
       const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
@@ -131,11 +152,14 @@ class ExtArray {
   /// Overwrites block `bi` with `src` (which must hold exactly
   /// block_elems(bi) elements).  Charges one write I/O (cost omega) — plus,
   /// under fault injection, omega per rewrite and one read per
-  /// verify-after-write attempt.
+  /// verify-after-write attempt.  With a block cache the write only dirties
+  /// the resident block; the (single) device write is charged at eviction
+  /// or flush, however many times the block was rewritten meanwhile.
   BlockIo write_block(std::uint64_t bi, std::span<const T> src) {
     const std::size_t count = block_elems(bi);
     if (src.size() != count)
       throw std::invalid_argument("write_block: source size mismatch");
+    if (BlockCache* bc = mach_->cache()) return cached_write(*bc, bi, src, count);
     FaultPolicy* fp = mach_->faults();
     if (fp == nullptr || !fp->injects_faults()) {
       const std::size_t begin = static_cast<std::size_t>(bi) * mach_->B();
@@ -188,10 +212,12 @@ class ExtArray {
 
   /// Uncharged bulk initialization, used to stage problem inputs before a
   /// measured run begins (the input's presence in external memory is the
-  /// problem statement, not part of the algorithm's cost).
+  /// problem statement, not part of the algorithm's cost).  Restaging drops
+  /// any cached blocks of this array (uncharged — it replaces them).
   void unsafe_host_fill(std::span<const T> src) {
     if (src.size() != data_.size())
       throw std::invalid_argument("unsafe_host_fill: size mismatch");
+    drop_cache_entries();
     for (std::size_t i = 0; i < src.size(); ++i) data_[i] = src[i];
     if (rec_ != nullptr) refresh_block_meta(0);
   }
@@ -245,6 +271,91 @@ class ExtArray {
       for (std::size_t i = 0; i < count; ++i) atoms[i] = atom_of_(src[i]);
       mach_->trace()->set_atoms(t, std::move(atoms));
     }
+  }
+
+  // --- block-cache plumbing ------------------------------------------------
+  // The cached bytes live in the NATIVE region of data_ (the pool's RAM
+  // copy); the cache itself holds only metadata.  Invariant: while a block
+  // is resident, data_'s native region holds its current contents — reads
+  // copy delivered (verified) data there on insertion, writes store their
+  // payload there, and write-backs read it back out.  For remapped blocks
+  // the device copy lives in the spare region, so the native region is
+  // exactly the pool frame.
+
+  T* native(std::uint64_t bi) const {
+    return const_cast<T*>(data_.data()) +
+           static_cast<std::size_t>(bi) * mach_->B();
+  }
+
+  void drop_cache_entries() {
+    if (mach_ == nullptr) return;
+    if (BlockCache* bc = mach_->cache()) bc->invalidate_array(id_);
+  }
+
+  void repoint_cache_sink() {
+    if (mach_ == nullptr) return;
+    if (BlockCache* bc = mach_->cache()) bc->move_sink(id_, this);
+  }
+
+  BlockIo cached_read(BlockCache& bc, std::uint64_t bi, std::span<T> dst,
+                      std::size_t count) const {
+    T* base = native(bi);
+    if (bc.find_read(id_, bi)) {
+      for (std::size_t i = 0; i < count; ++i) dst[i] = base[i];
+      return BlockIo{count, IoTicket{}};  // pool hit: no device I/O
+    }
+    // Miss: one charged device read, then adopt the block into the pool.
+    FaultPolicy* fp = mach_->faults();
+    BlockIo io;
+    if (fp == nullptr || !fp->injects_faults()) {
+      for (std::size_t i = 0; i < count; ++i) dst[i] = base[i];
+      io = BlockIo{count, mach_->on_read(id_, bi)};
+    } else {
+      io = faulty_read(*fp, bi, dst, count);
+      // The delivered (checksum-verified) copy becomes the pool frame; for
+      // a remapped block the native region held stale pre-remap bytes.
+      for (std::size_t i = 0; i < count; ++i) base[i] = dst[i];
+    }
+    // May evict (and write back) a victim; on a write-back exception the
+    // read stands — delivered and charged — and the block is just not
+    // cached.
+    bc.insert(id_, bi, /*dirty=*/false,
+              const_cast<ExtArray*>(this));
+    return io;
+  }
+
+  BlockIo cached_write(BlockCache& bc, std::uint64_t bi,
+                       std::span<const T> src, std::size_t count) {
+    T* base = native(bi);
+    if (bc.find_write(id_, bi)) {
+      for (std::size_t i = 0; i < count; ++i) base[i] = src[i];
+      return BlockIo{count, IoTicket{}};  // rewrite of a resident block
+    }
+    // Write-allocate without fetching: the whole block is overwritten, so
+    // no device read is needed and no device write happens yet.  Insert
+    // first — if the eviction's write-back throws, the stored data is
+    // untouched.
+    bc.insert(id_, bi, /*dirty=*/true, this);
+    for (std::size_t i = 0; i < count; ++i) base[i] = src[i];
+    return BlockIo{count, IoTicket{}};
+  }
+
+  /// BlockCache::Sink: push a dirty pool frame back to the device through
+  /// the normal charged write path (including fault injection / recovery /
+  /// remap when a policy is installed).
+  void cache_write_back(std::uint64_t bi) override {
+    const std::size_t count = block_elems(bi);
+    FaultPolicy* fp = mach_->faults();
+    if (fp == nullptr || !fp->injects_faults()) {
+      // Payload already sits in the native region; just charge the write.
+      IoTicket t = mach_->on_write(id_, bi);
+      annotate_atoms(t, std::span<const T>(native(bi), count), count);
+      return;
+    }
+    // The faulty write path mutates the located device region in place, so
+    // stage the intended payload out of the (aliasing) native region.
+    const std::vector<T> tmp(native(bi), native(bi) + count);
+    faulty_write(*fp, bi, std::span<const T>(tmp), count);
   }
 
   Recovery& recovery(const FaultPolicy& fp) const {

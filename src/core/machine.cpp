@@ -7,6 +7,7 @@ namespace aem {
 Machine::Machine(Config cfg)
     : cfg_(cfg), ledger_(cfg.capacity(), cfg.strict) {
   cfg_.validate();
+  if (cfg_.cache.capacity_blocks != 0) install_cache(cfg_.cache);
 }
 
 void Machine::reset_stats() {
@@ -17,10 +18,23 @@ void Machine::reset_stats() {
   // Rewind the fault schedule too: a measured case that begins with
   // reset_stats() sees the same faults whether or not staging ran before.
   if (faults_) faults_->reset();
+  // Cache COUNTERS reset; resident blocks and dirtiness are kept (they are
+  // real state, and dropping dirtiness would silently lose deferred
+  // writes).  Flush before reset for clean per-case accounting.
+  if (cache_) cache_->reset_stats();
 }
 
 void Machine::install_faults(FaultConfig cfg) {
   faults_ = std::make_unique<FaultPolicy>(cfg);
+}
+
+void Machine::install_cache(CacheConfig cfg) {
+  cfg.validate();
+  if (cfg.capacity_blocks == 0) {
+    cache_.reset();  // bypass mode: no pool at all
+    return;
+  }
+  cache_ = std::make_unique<BlockCache>(cfg, cfg_.write_cost);
 }
 
 std::uint32_t Machine::intern_phase(std::string_view name) {

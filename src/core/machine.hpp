@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache.hpp"
 #include "core/config.hpp"
 #include "core/faults.hpp"
 #include "core/ledger.hpp"
@@ -130,6 +131,23 @@ class Machine {
   FaultPolicy* faults() { return faults_.get(); }
   const FaultPolicy* faults() const { return faults_.get(); }
 
+  // --- block cache (core/cache.hpp) ----------------------------------------
+  /// Installs (replacing any previous — setup-time only, a replaced pool's
+  /// dirty blocks are dropped uncharged) a write-back block cache between
+  /// ExtArray traffic and the counters.  Capacity 0 is strict bypass: no
+  /// pool is created, the hot path pays one null-pointer test, and Q is
+  /// byte-identical to the uncached machine.  A cache configured on the
+  /// Config (cfg.cache) is installed by the constructor.
+  void install_cache(CacheConfig cfg);
+  void remove_cache() { cache_.reset(); }
+  BlockCache* cache() { return cache_.get(); }
+  const BlockCache* cache() const { return cache_.get(); }
+  /// Writes back every dirty cached block (each a charged omega-write that
+  /// can fault and retry like any other); returns the write-back count.
+  /// Call it before reading cost() off a cached run — resident dirty
+  /// blocks are deferred writes Q has not seen yet.  No-op without a cache.
+  std::size_t flush_cache() { return cache_ ? cache_->flush() : 0; }
+
   // --- tracing -------------------------------------------------------------
   /// Starts recording ops into a fresh trace (dropping any previous one).
   void enable_trace();
@@ -182,6 +200,7 @@ class Machine {
 
   std::unique_ptr<Trace> trace_;
   std::unique_ptr<FaultPolicy> faults_;
+  std::unique_ptr<BlockCache> cache_;
   // wear_[array][block] = write count; vectors grow on demand (block indices
   // are dense within an array, so this is a flat histogram, not a map).
   std::optional<std::vector<std::vector<std::uint64_t>>> wear_;

@@ -103,6 +103,15 @@ MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
     s.fault_stats = fp->stats();
   }
 
+  if (const BlockCache* bc = mach.cache()) {
+    s.cache_enabled = true;
+    s.cache_config = bc->config();
+    s.cache_window = bc->window();
+    s.cache_stats = bc->stats();
+    s.cache_resident = bc->resident();
+    s.cache_resident_dirty = bc->resident_dirty();
+  }
+
   s.trace_enabled = mach.tracing();
   if (const Trace* tr = mach.trace()) s.trace_ops = tr->size();
 
@@ -180,6 +189,26 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << ",\"checksum_failures\":" << fs.checksum_failures
        << ",\"retired_blocks\":" << fs.retired_blocks
        << ",\"remaps\":" << fs.remaps << "}}";
+  }
+
+  {
+    const CacheConfig& cc = s.cache_config;
+    const CacheStats& cs = s.cache_stats;
+    os << ",\"cache\":{\"enabled\":" << fmt_bool(s.cache_enabled)
+       << ",\"policy\":\"" << to_string(cc.policy) << "\""
+       << ",\"capacity_blocks\":" << cc.capacity_blocks
+       << ",\"clean_window\":" << s.cache_window
+       << ",\"read_hits\":" << cs.read_hits
+       << ",\"read_misses\":" << cs.read_misses
+       << ",\"write_hits\":" << cs.write_hits
+       << ",\"write_misses\":" << cs.write_misses
+       << ",\"evictions_clean\":" << cs.evictions_clean
+       << ",\"evictions_dirty\":" << cs.evictions_dirty
+       << ",\"write_backs\":" << cs.write_backs
+       << ",\"flushes\":" << cs.flushes
+       << ",\"invalidated_dirty\":" << cs.invalidated_dirty
+       << ",\"resident\":" << s.cache_resident
+       << ",\"resident_dirty\":" << s.cache_resident_dirty << "}";
   }
 
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/cache.hpp"
 #include "core/faults.hpp"
 #include "core/stats.hpp"
 
@@ -41,7 +42,7 @@ struct ArrayWearMetrics {
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v2";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v3";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -79,6 +80,15 @@ struct MetricsSnapshot {
   bool faults_enabled = false;
   FaultConfig fault_config;
   FaultStats fault_stats;
+
+  // cache (v3: block-cache config, counters, and residency; `cache.enabled`
+  // is false — and everything else zero/default — in bypass mode)
+  bool cache_enabled = false;
+  CacheConfig cache_config;
+  std::uint64_t cache_window = 0;  // effective kCleanFirst window
+  CacheStats cache_stats;
+  std::uint64_t cache_resident = 0;
+  std::uint64_t cache_resident_dirty = 0;
 
   // trace
   bool trace_enabled = false;

@@ -1,0 +1,582 @@
+// Tests for core/cache: eviction-policy mechanics (BlockCache directly),
+// charged-cost accounting and write coalescing through ExtArray, the
+// omega-derived clean-first window, lifetime edges (moves, destruction,
+// restaging), interaction with fault injection (write-back retry /
+// retirement / remap, flush under BudgetExceeded), and the property that
+// caching never changes outputs — only Q.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/ext_array.hpp"
+#include "core/faults.hpp"
+#include "core/machine.hpp"
+#include "permute/permutation.hpp"
+#include "permute/scatter.hpp"
+#include "sort/mergesort.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+
+Config cfg(std::size_t M, std::size_t B, std::uint64_t w) {
+  Config c;
+  c.memory_elems = M;
+  c.block_elems = B;
+  c.write_cost = w;
+  return c;
+}
+
+Config cached_cfg(std::size_t M, std::size_t B, std::uint64_t w,
+                  std::size_t capacity, CachePolicy p = CachePolicy::kLru) {
+  Config c = cfg(M, B, w);
+  c.cache.capacity_blocks = capacity;
+  c.cache.policy = p;
+  return c;
+}
+
+/// Records the order of write-backs the cache requested.
+struct RecordingSink : BlockCache::Sink {
+  std::vector<std::uint64_t> written;
+  void cache_write_back(std::uint64_t block) override {
+    written.push_back(block);
+  }
+};
+
+/// Sink that throws on the Nth write-back (1-based), modeling a
+/// BudgetExceeded / FaultError escaping mid-eviction.
+struct ThrowingSink : BlockCache::Sink {
+  explicit ThrowingSink(std::size_t fail_at) : fail_at_(fail_at) {}
+  std::size_t fail_at_;
+  std::size_t calls = 0;
+  void cache_write_back(std::uint64_t) override {
+    if (++calls == fail_at_) throw std::runtime_error("write-back failed");
+  }
+};
+
+// --- config & construction -----------------------------------------------
+
+TEST(CacheConfigTest, ValidateRejectsWindowBeyondCapacity) {
+  CacheConfig c;
+  c.capacity_blocks = 4;
+  c.clean_window = 5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.clean_window = 4;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(BlockCacheTest, ConstructorRejectsZeroCapacity) {
+  CacheConfig c;  // capacity 0 = bypass, not a constructible cache
+  EXPECT_THROW(BlockCache(c, 8), std::invalid_argument);
+}
+
+TEST(BlockCacheTest, CleanFirstWindowDerivesFromOmega) {
+  CacheConfig c;
+  c.capacity_blocks = 64;
+  c.policy = CachePolicy::kCleanFirst;
+  // omega = 1: window 0 — the policy IS exact LRU.
+  EXPECT_EQ(BlockCache(c, 1).window(), 0u);
+  // omega = 8: 64 - max(1, 64/8) = 56.
+  EXPECT_EQ(BlockCache(c, 8).window(), 56u);
+  // omega >= capacity: 64 - max(1, 64/64) = 63 (protect only the MRU).
+  EXPECT_EQ(BlockCache(c, 1024).window(), 63u);
+  // Explicit window wins over the derivation.
+  c.clean_window = 10;
+  EXPECT_EQ(BlockCache(c, 8).window(), 10u);
+  // Other policies have no window.
+  c.policy = CachePolicy::kLru;
+  c.clean_window = 0;
+  EXPECT_EQ(BlockCache(c, 8).window(), 0u);
+}
+
+// --- eviction-policy mechanics (BlockCache directly) ----------------------
+
+TEST(BlockCacheTest, LruEvictsLeastRecentlyTouched) {
+  CacheConfig c;
+  c.capacity_blocks = 3;
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 0, true, &sink);
+  bc.insert(0, 1, true, &sink);
+  bc.insert(0, 2, true, &sink);
+  ASSERT_TRUE(bc.find_read(0, 0));  // 0 becomes MRU; LRU order: 1, 2, 0
+  bc.insert(0, 3, true, &sink);     // evicts 1
+  EXPECT_EQ(sink.written, (std::vector<std::uint64_t>{1}));
+  EXPECT_FALSE(bc.contains(0, 1));
+  EXPECT_TRUE(bc.contains(0, 0));
+  bc.insert(0, 4, true, &sink);  // evicts 2
+  EXPECT_EQ(sink.written, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(BlockCacheTest, ClockGivesSecondChanceToReferencedFrames) {
+  CacheConfig c;
+  c.capacity_blocks = 3;
+  c.policy = CachePolicy::kClock;
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 0, true, &sink);  // frame 0
+  bc.insert(0, 1, true, &sink);  // frame 1
+  bc.insert(0, 2, true, &sink);  // frame 2
+  // All ref bits set at insert; the first eviction sweep clears them all
+  // and wraps to frame 0: block 0 is the victim despite being "oldest by
+  // hand position" — but re-reference block 0 first so its bit survives
+  // one extra clear and the hand settles on block 1.
+  ASSERT_TRUE(bc.find_read(0, 0));
+  bc.insert(0, 3, true, &sink);
+  // Sweep: f0 ref->clear, f1 ref->clear, f2 ref->clear, f0 ref(set by
+  // find_read? no: find_read sets ref, then cleared once)... the victim is
+  // the first frame reached twice with a clear bit: frame 0.
+  ASSERT_EQ(sink.written.size(), 1u);
+  // Whichever frame was chosen, exactly two of the original three remain
+  // and the cache is full again.
+  EXPECT_EQ(bc.resident(), 3u);
+  EXPECT_TRUE(bc.contains(0, 3));
+}
+
+TEST(BlockCacheTest, CleanFirstPrefersCleanVictimInWindow) {
+  CacheConfig c;
+  c.capacity_blocks = 3;
+  c.policy = CachePolicy::kCleanFirst;
+  c.clean_window = 3;
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 0, true, &sink);   // dirty
+  bc.insert(0, 1, false, &sink);  // clean
+  bc.insert(0, 2, true, &sink);   // dirty; LRU order: 0, 1, 2
+  bc.insert(0, 3, true, &sink);
+  // Plain LRU would evict dirty block 0 (a charged write-back); the clean
+  // scan skips it and evicts clean block 1 for free.
+  EXPECT_TRUE(sink.written.empty());
+  EXPECT_FALSE(bc.contains(0, 1));
+  EXPECT_TRUE(bc.contains(0, 0));
+  EXPECT_EQ(bc.stats().evictions_clean, 1u);
+  EXPECT_EQ(bc.stats().evictions_dirty, 0u);
+}
+
+TEST(BlockCacheTest, CleanFirstFallsBackToLruWhenWindowIsAllDirty) {
+  CacheConfig c;
+  c.capacity_blocks = 3;
+  c.policy = CachePolicy::kCleanFirst;
+  c.clean_window = 1;  // only the tail block is scanned
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 0, true, &sink);
+  bc.insert(0, 1, false, &sink);  // clean, but OUTSIDE the 1-block window
+  bc.insert(0, 2, true, &sink);
+  bc.insert(0, 3, true, &sink);  // window = {0} (dirty): LRU fallback
+  EXPECT_EQ(sink.written, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(bc.stats().evictions_dirty, 1u);
+}
+
+TEST(BlockCacheTest, FindWriteMarksDirtyAndEvictionWritesBackOnce) {
+  CacheConfig c;
+  c.capacity_blocks = 2;
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 7, false, &sink);
+  EXPECT_FALSE(bc.dirty(0, 7));
+  ASSERT_TRUE(bc.find_write(0, 7));
+  ASSERT_TRUE(bc.find_write(0, 7));  // second dirtying is a no-op
+  EXPECT_TRUE(bc.dirty(0, 7));
+  EXPECT_EQ(bc.resident_dirty(), 1u);
+  bc.insert(0, 8, false, &sink);
+  bc.insert(0, 9, false, &sink);  // evicts 7: exactly one write-back
+  EXPECT_EQ(sink.written, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(bc.stats().write_hits, 2u);
+  EXPECT_EQ(bc.stats().write_backs, 1u);
+}
+
+TEST(BlockCacheTest, FlushWritesDirtyBlocksInDeterministicOrderAndKeepsThem) {
+  CacheConfig c;
+  c.capacity_blocks = 8;
+  BlockCache bc(c, 8);
+  RecordingSink sink;
+  bc.insert(0, 5, true, &sink);
+  bc.insert(0, 2, true, &sink);
+  bc.insert(0, 9, false, &sink);
+  bc.insert(0, 7, true, &sink);
+  EXPECT_EQ(bc.flush(), 3u);
+  EXPECT_EQ(sink.written, (std::vector<std::uint64_t>{2, 5, 7}));  // sorted
+  EXPECT_EQ(bc.resident(), 4u);  // flush cleans, it does not evict
+  EXPECT_EQ(bc.resident_dirty(), 0u);
+  EXPECT_EQ(bc.flush(), 0u);  // nothing left to write
+  EXPECT_EQ(bc.stats().flushes, 2u);
+}
+
+TEST(BlockCacheTest, ExceptionDuringEvictionLeavesVictimResidentAndDirty) {
+  CacheConfig c;
+  c.capacity_blocks = 2;
+  BlockCache bc(c, 8);
+  ThrowingSink sink(1);
+  bc.insert(0, 0, true, &sink);
+  bc.insert(0, 1, true, &sink);
+  EXPECT_THROW(bc.insert(0, 2, true, &sink), std::runtime_error);
+  // The victim (block 0) is untouched; the new block was never inserted.
+  EXPECT_TRUE(bc.contains(0, 0));
+  EXPECT_TRUE(bc.dirty(0, 0));
+  EXPECT_FALSE(bc.contains(0, 2));
+  EXPECT_EQ(bc.resident(), 2u);
+  EXPECT_EQ(bc.resident_dirty(), 2u);
+}
+
+TEST(BlockCacheTest, ExceptionMidFlushKeepsRemainderDirtyAndIsRetryable) {
+  CacheConfig c;
+  c.capacity_blocks = 4;
+  BlockCache bc(c, 8);
+  ThrowingSink sink(2);  // second write-back (block 1) fails
+  bc.insert(0, 0, true, &sink);
+  bc.insert(0, 1, true, &sink);
+  bc.insert(0, 2, true, &sink);
+  EXPECT_THROW(bc.flush(), std::runtime_error);
+  EXPECT_FALSE(bc.dirty(0, 0));  // flushed before the failure
+  EXPECT_TRUE(bc.dirty(0, 1));   // the failing block stays dirty
+  EXPECT_TRUE(bc.dirty(0, 2));   // never reached
+  EXPECT_EQ(bc.flush(), 2u);     // simply call again
+  EXPECT_EQ(bc.resident_dirty(), 0u);
+}
+
+TEST(BlockCacheTest, InvalidateArrayDropsDirtyUnchargedAndCountsThem) {
+  CacheConfig c;
+  c.capacity_blocks = 4;
+  BlockCache bc(c, 8);
+  RecordingSink a, b;
+  bc.insert(0, 0, true, &a);
+  bc.insert(1, 0, true, &b);
+  bc.insert(0, 1, false, &a);
+  bc.invalidate_array(0);
+  EXPECT_TRUE(a.written.empty());  // no write-backs on invalidation
+  EXPECT_EQ(bc.stats().invalidated_dirty, 1u);
+  EXPECT_FALSE(bc.contains(0, 0));
+  EXPECT_TRUE(bc.contains(1, 0));  // other arrays untouched
+  EXPECT_EQ(bc.resident(), 1u);
+  EXPECT_EQ(bc.resident_dirty(), 1u);
+}
+
+// --- accounting through ExtArray / Machine --------------------------------
+
+TEST(CachedMachineTest, HitsAreFreeMissesChargeOneRead) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8);
+  arr.read_block(0, std::span<int>(buf));  // miss: 1 charged read
+  EXPECT_EQ(mach.stats().reads, 1u);
+  arr.read_block(0, std::span<int>(buf));  // hit: free
+  arr.read_block(0, std::span<int>(buf));
+  EXPECT_EQ(mach.stats().reads, 1u);
+  EXPECT_EQ(mach.stats().writes, 0u);
+  EXPECT_EQ(mach.cache()->stats().read_hits, 2u);
+  EXPECT_EQ(mach.cache()->stats().read_misses, 1u);
+}
+
+TEST(CachedMachineTest, WritesAreDeferredAndCoalescedUntilFlush) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8, 1);
+  for (int rep = 0; rep < 10; ++rep) {
+    buf[0] = rep;
+    arr.write_block(2, std::span<const int>(buf));
+  }
+  EXPECT_EQ(mach.stats().writes, 0u);  // nothing charged yet
+  EXPECT_EQ(mach.cost(), 0u);
+  EXPECT_EQ(mach.flush_cache(), 1u);  // 10 rewrites -> ONE device write
+  EXPECT_EQ(mach.stats().writes, 1u);
+  EXPECT_EQ(mach.cost(), 4u);  // omega = 4
+  // The stored data is the last version.
+  std::vector<int> back(8);
+  arr.read_block(2, std::span<int>(back));
+  EXPECT_EQ(back[0], 9);
+}
+
+TEST(CachedMachineTest, HitsProduceNoTraceOpsAndNoWear) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  mach.enable_trace();
+  mach.enable_wear_tracking();
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8, 3);
+  arr.write_block(0, std::span<const int>(buf));  // resident, deferred
+  arr.write_block(0, std::span<const int>(buf));
+  arr.read_block(0, std::span<int>(buf));
+  EXPECT_EQ(mach.trace()->size(), 0u);  // the device saw nothing
+  EXPECT_EQ(mach.wear_stats().blocks_written, 0u);
+  mach.flush_cache();
+  EXPECT_EQ(mach.trace()->size(), 1u);  // exactly the one real write
+  EXPECT_EQ(mach.wear_stats().blocks_written, 1u);
+  EXPECT_EQ(mach.wear_stats().max_writes, 1u);
+}
+
+TEST(CachedMachineTest, HitTicketsAreInvalid) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  mach.enable_trace();
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8);
+  BlockIo miss = arr.read_block(1, std::span<int>(buf));
+  EXPECT_TRUE(miss.ticket.valid());
+  BlockIo hit = arr.read_block(1, std::span<int>(buf));
+  EXPECT_FALSE(hit.ticket.valid());
+}
+
+TEST(CachedMachineTest, ResetStatsKeepsResidencyAndDirtiness) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8, 5);
+  arr.write_block(0, std::span<const int>(buf));
+  mach.reset_stats();
+  EXPECT_EQ(mach.cache()->stats(), CacheStats{});
+  EXPECT_EQ(mach.cache()->resident(), 1u);
+  EXPECT_EQ(mach.cache()->resident_dirty(), 1u);
+  // The deferred write is still owed — and charged to the fresh counters.
+  EXPECT_EQ(mach.flush_cache(), 1u);
+  EXPECT_EQ(mach.stats().writes, 1u);
+}
+
+TEST(CachedMachineTest, MovedArrayKeepsCacheWorking) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  ExtArray<int> a(mach, 32, "a");
+  std::vector<int> buf(8, 7);
+  a.write_block(3, std::span<const int>(buf));
+  ExtArray<int> b = std::move(a);  // sink must be re-pointed at b
+  EXPECT_EQ(mach.flush_cache(), 1u);
+  std::vector<int> back(8);
+  b.read_block(3, std::span<int>(back));
+  EXPECT_EQ(back[0], 7);
+}
+
+TEST(CachedMachineTest, DestructionDropsDirtyBlocksUncharged) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  {
+    ExtArray<int> a(mach, 32, "doomed");
+    std::vector<int> buf(8, 7);
+    a.write_block(0, std::span<const int>(buf));
+  }
+  EXPECT_EQ(mach.stats().writes, 0u);  // dropped, not written back
+  EXPECT_EQ(mach.cache()->stats().invalidated_dirty, 1u);
+  EXPECT_EQ(mach.cache()->resident(), 0u);
+  EXPECT_EQ(mach.flush_cache(), 0u);
+}
+
+TEST(CachedMachineTest, HostFillDropsStaleCachedBlocks) {
+  Machine mach(cached_cfg(64, 8, 4, 4));
+  ExtArray<int> a(mach, 32, "a");
+  std::vector<int> buf(8);
+  a.read_block(0, std::span<int>(buf));  // default-initialized zeros
+  std::vector<int> fresh(32);
+  for (int i = 0; i < 32; ++i) fresh[i] = 100 + i;
+  a.unsafe_host_fill(std::span<const int>(fresh));
+  a.read_block(0, std::span<int>(buf));  // must NOT serve the stale zeros
+  EXPECT_EQ(buf[0], 100);
+}
+
+TEST(CachedMachineTest, InstallAndRemoveAtRuntime) {
+  Machine mach(cfg(64, 8, 4));
+  EXPECT_EQ(mach.cache(), nullptr);
+  EXPECT_EQ(mach.flush_cache(), 0u);  // no-op without a cache
+  CacheConfig cc;
+  cc.capacity_blocks = 2;
+  mach.install_cache(cc);
+  ASSERT_NE(mach.cache(), nullptr);
+  EXPECT_EQ(mach.cache()->capacity(), 2u);
+  mach.remove_cache();
+  EXPECT_EQ(mach.cache(), nullptr);
+  // Capacity 0 through install_cache is bypass, not an error.
+  cc.capacity_blocks = 0;
+  mach.install_cache(cc);
+  EXPECT_EQ(mach.cache(), nullptr);
+}
+
+// --- interaction with fault injection -------------------------------------
+
+TEST(CacheFaultTest, WriteBackRetriesThroughFaultPolicy) {
+  Machine mach(cached_cfg(64, 8, 4, 2));
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.silent_write_rate = 0.5;  // every other write-back attempt corrupts
+  fc.max_retries = 50;
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 64, "a");
+  std::vector<int> buf(8);
+  for (int bi = 0; bi < 8; ++bi) {
+    for (int i = 0; i < 8; ++i) buf[i] = bi * 8 + i;
+    arr.write_block(bi, std::span<const int>(buf));  // evictions write back
+  }
+  mach.flush_cache();
+  const FaultStats& fs = mach.faults()->stats();
+  EXPECT_GT(fs.silent_write_faults, 0u);  // faults really fired
+  EXPECT_GT(fs.write_retries, 0u);        // and were retried, charged
+  // Every retry was a real omega-write on top of the 8 logical ones.
+  EXPECT_GT(mach.stats().writes, 8u);
+  // The stored data survived the faulty write-backs.
+  mach.clear_faults();
+  for (int bi = 0; bi < 8; ++bi) {
+    arr.read_block(bi, std::span<int>(buf));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[i], bi * 8 + i);
+  }
+}
+
+TEST(CacheFaultTest, WriteBackRetirementMigratesToSpareTransparently) {
+  Machine mach(cached_cfg(64, 8, 4, 2));
+  FaultConfig fc;
+  fc.endurance = 3;  // blocks die after 3 lifetime writes
+  fc.spare_blocks = 16;
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8);
+  // Hammer block 0 with flushed write-backs until it retires and remaps.
+  for (int rep = 0; rep < 6; ++rep) {
+    for (int i = 0; i < 8; ++i) buf[i] = rep * 10 + i;
+    arr.write_block(0, std::span<const int>(buf));
+    mach.flush_cache();
+  }
+  EXPECT_GT(arr.remapped_blocks(), 0u);
+  EXPECT_GT(mach.faults()->stats().remaps, 0u);
+  // Reads — cached or not — still deliver the latest data.
+  std::vector<int> back(8);
+  arr.read_block(0, std::span<int>(back));
+  EXPECT_EQ(back[0], 50);
+  arr.read_block(0, std::span<int>(back));  // pool hit on a remapped block
+  EXPECT_EQ(back[7], 57);
+  EXPECT_GT(mach.cache()->stats().read_hits, 0u);
+}
+
+TEST(CacheFaultTest, ReadMissOfRemappedBlockRefreshesPoolFrame) {
+  // After a block migrates to a spare, the native region holds stale
+  // pre-remap bytes; a cached read miss must adopt the DELIVERED (spare)
+  // copy so later pool hits serve current data.
+  Machine mach(cached_cfg(64, 8, 4, 2));
+  FaultConfig fc;
+  fc.endurance = 2;
+  fc.spare_blocks = 8;
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 32, "a");
+  std::vector<int> buf(8);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int i = 0; i < 8; ++i) buf[i] = rep * 10 + i;
+    arr.write_block(0, std::span<const int>(buf));
+    mach.flush_cache();
+    // Push block 0 out of the pool so the next read is a true miss.
+    arr.write_block(1, std::span<const int>(buf));
+    arr.write_block(2, std::span<const int>(buf));
+    mach.flush_cache();
+  }
+  ASSERT_GT(arr.remapped_blocks(), 0u);
+  std::vector<int> back(8);
+  arr.read_block(0, std::span<int>(back));  // miss: reads the spare
+  EXPECT_EQ(back[0], 40);
+  arr.read_block(0, std::span<int>(back));  // hit: pool frame must agree
+  EXPECT_EQ(back[0], 40);
+}
+
+TEST(CacheFaultTest, BudgetExceededDuringFlushLeavesConsistentStateAndRetries) {
+  Machine mach(cached_cfg(64, 8, 4, 8));
+  FaultConfig fc;
+  fc.max_cost = 6;  // one omega-write (4) fits, the second (8) trips
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 64, "a");
+  std::vector<int> buf(8, 1);
+  arr.write_block(0, std::span<const int>(buf));
+  arr.write_block(1, std::span<const int>(buf));
+  arr.write_block(2, std::span<const int>(buf));
+  EXPECT_THROW(mach.flush_cache(), BudgetExceeded);
+  // One block was flushed (the one whose write tripped the ceiling is
+  // charged but stays dirty only if the charge threw BEFORE the sink
+  // marked it clean — either way the invariant is: dirty blocks left are
+  // exactly the writes Q has not (fully) accounted.  Retrying after the
+  // ceiling is lifted completes the flush.
+  mach.clear_faults();
+  mach.flush_cache();
+  EXPECT_EQ(mach.cache()->resident_dirty(), 0u);
+  // All three blocks hold their data.
+  for (int bi = 0; bi < 3; ++bi) {
+    std::vector<int> back(8);
+    arr.read_block(bi, std::span<int>(back));
+    EXPECT_EQ(back[0], 1);
+  }
+}
+
+TEST(CacheFaultTest, EvictionBudgetFailureKeepsVictimAndDataIntact) {
+  Machine mach(cached_cfg(64, 8, 4, 2));
+  FaultConfig fc;
+  fc.max_cost = 2;  // any omega-write (4) trips the ceiling
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 64, "a");
+  std::vector<int> one(8, 1), two(8, 2), three(8, 3);
+  arr.write_block(0, std::span<const int>(one));
+  arr.write_block(1, std::span<const int>(two));
+  // The third write must evict a dirty victim; the write-back trips the
+  // budget and the victim must stay resident + dirty.
+  EXPECT_THROW(arr.write_block(2, std::span<const int>(three)),
+               BudgetExceeded);
+  EXPECT_EQ(mach.cache()->resident(), 2u);
+  EXPECT_EQ(mach.cache()->resident_dirty(), 2u);
+  mach.clear_faults();
+  std::vector<int> back(8);
+  arr.read_block(0, std::span<int>(back));
+  EXPECT_EQ(back[0], 1);
+  arr.read_block(1, std::span<int>(back));
+  EXPECT_EQ(back[0], 2);
+}
+
+// --- the cache changes Q, never results -----------------------------------
+
+TEST(CacheInvarianceTest, SortAndScatterOutputsMatchUncachedRuns) {
+  const std::size_t N = 2048, M = 256, B = 16;
+  util::Rng rng(99);
+  const std::vector<std::uint64_t> keys = util::random_keys(N, rng);
+  const perm::Perm dest = perm::random(N, rng);
+
+  auto run = [&](Config c, bool sort) {
+    Machine mach(c);
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    if (sort) {
+      aem_merge_sort(in, out);
+    } else {
+      scatter_permute(in, std::span<const std::uint64_t>(dest), out);
+    }
+    mach.flush_cache();
+    return std::pair(out.unsafe_host_view(), mach.cost());
+  };
+
+  for (bool sort : {true, false}) {
+    const auto [expect, q_off] = run(cfg(M, B, 16), sort);
+    for (CachePolicy p : {CachePolicy::kLru, CachePolicy::kClock,
+                          CachePolicy::kCleanFirst}) {
+      for (std::size_t cap : {4u, 32u, 256u}) {
+        const auto [got, q] = run(cached_cfg(M, B, 16, cap, p), sort);
+        EXPECT_EQ(got, expect)
+            << (sort ? "sort" : "scatter") << " policy=" << to_string(p)
+            << " cap=" << cap;
+        // A flushed pool can only remove I/Os, never add them.
+        EXPECT_LE(q, q_off) << (sort ? "sort" : "scatter")
+                            << " policy=" << to_string(p) << " cap=" << cap;
+      }
+    }
+  }
+}
+
+TEST(CacheInvarianceTest, CleanFirstAtOmegaOneIsExactlyLru) {
+  const std::size_t N = 1024, M = 128, B = 8;
+  util::Rng rng(5);
+  const std::vector<std::uint64_t> keys = util::random_keys(N, rng);
+  const perm::Perm dest = perm::random(N, rng);
+  auto run = [&](CachePolicy p) {
+    Machine mach(cached_cfg(M, B, 1, 16, p));
+    ExtArray<std::uint64_t> in(mach, N, "in");
+    in.unsafe_host_fill(keys);
+    ExtArray<std::uint64_t> out(mach, N, "out");
+    mach.reset_stats();
+    scatter_permute(in, std::span<const std::uint64_t>(dest), out);
+    mach.flush_cache();
+    return std::tuple(mach.stats().reads, mach.stats().writes,
+                      mach.cache()->stats());
+  };
+  // Identical counters bit for bit: at omega = 1 the derived window is 0.
+  EXPECT_EQ(run(CachePolicy::kCleanFirst), run(CachePolicy::kLru));
+}
+
+}  // namespace

@@ -2,7 +2,9 @@
 // and stability of the JSON serialization.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/ext_array.hpp"
 #include "core/machine.hpp"
@@ -80,11 +82,45 @@ TEST(MetricsTest, SnapshotOfFreshMachineIsEmptyButValid) {
   EXPECT_FALSE(s.wear_enabled);
   EXPECT_FALSE(s.trace_enabled);
   const std::string j = to_json(s);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v2\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v3\""),
             std::string::npos);
   EXPECT_NE(j.find("\"phases\":[]"), std::string::npos);
   // Without an installed FaultPolicy the faults section reports defaults.
   EXPECT_NE(j.find("\"faults\":{\"enabled\":false"), std::string::npos);
+  // Same for the cache section in bypass mode.
+  EXPECT_NE(j.find("\"cache\":{\"enabled\":false"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotSurfacesCacheState) {
+  Config cfg = small_config();
+  cfg.cache.capacity_blocks = 4;
+  cfg.cache.policy = CachePolicy::kCleanFirst;
+  Machine mach(cfg);
+  ExtArray<int> arr(mach, 32, "data");
+  std::vector<int> blk(8, 7);
+  arr.write_block(0, std::span<const int>(blk));   // write miss (allocate)
+  arr.write_block(0, std::span<const int>(blk));   // write hit (coalesced)
+  arr.read_block(0, std::span<int>(blk));          // read hit
+  mach.flush_cache();
+
+  const MetricsSnapshot s = snapshot_metrics(mach, "cached");
+  EXPECT_TRUE(s.cache_enabled);
+  EXPECT_EQ(s.cache_config.capacity_blocks, 4u);
+  EXPECT_EQ(s.cache_config.policy, CachePolicy::kCleanFirst);
+  // omega = 4, capacity 4: window = 4 - max(1, 4/4) = 3.
+  EXPECT_EQ(s.cache_window, 3u);
+  EXPECT_EQ(s.cache_stats.write_misses, 1u);
+  EXPECT_EQ(s.cache_stats.write_hits, 1u);
+  EXPECT_EQ(s.cache_stats.read_hits, 1u);
+  EXPECT_EQ(s.cache_stats.write_backs, 1u);
+  EXPECT_EQ(s.cache_resident, 1u);
+  EXPECT_EQ(s.cache_resident_dirty, 0u);
+
+  const std::string j = to_json(s);
+  EXPECT_NE(j.find("\"cache\":{\"enabled\":true,\"policy\":\"clean-first\","
+                   "\"capacity_blocks\":4,\"clean_window\":3"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"write_backs\":1"), std::string::npos);
 }
 
 TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
@@ -98,12 +134,13 @@ TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
   const std::string j = to_json(snapshot_metrics(mach, "case-1"));
   EXPECT_EQ(j.find('\n'), std::string::npos);  // one line per snapshot
   for (const char* needle :
-       {"\"schema\":\"aem.machine.metrics/v2\"", "\"label\":\"case-1\"",
+       {"\"schema\":\"aem.machine.metrics/v3\"", "\"label\":\"case-1\"",
         "\"config\":{\"memory_elems\":64,\"block_elems\":8,\"write_cost\":4",
         "\"io\":{\"reads\":1,\"writes\":1,\"total\":2,\"cost\":5}",
         "\"name\":\"sort.merge\"", "\"ledger\":", "\"poisoned\":false",
         "\"wear\":{\"enabled\":false", "\"faults\":{\"enabled\":false",
         "\"injected\":{\"read\":0", "\"recovery\":{\"read_retries\":0",
+        "\"cache\":{\"enabled\":false,\"policy\":\"lru\"",
         "\"trace\":{\"enabled\":false", "\"arrays\":[\"in\"]"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle
                                                  << " in " << j;
