@@ -7,6 +7,7 @@
 // opening the gap between O(H) and O(omega h log ...) that Theorem 5.1
 // formalizes.  This bench measures the same conformation in both layouts.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/spmv_bounds.hpp"
@@ -24,35 +25,37 @@ using namespace aem::spmv;
 // implicit all-ones vector (row sums) — no x reads.
 std::uint64_t run_naive(const Conformation& conf, std::size_t M,
                         std::size_t B, std::uint64_t w,
-                        const std::string& metrics, const std::string& label) {
+                        harness::PointContext& ctx, const std::string& label) {
   Machine mach(make_config(M, B, w));
   SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
   ExtArray<std::uint64_t> y(mach, conf.n(), "y");
   mach.reset_stats();
   naive_row_sums(A, y, Counting{});
-  emit_metrics(mach, label, metrics);
+  ctx.metrics(mach, label);
   return mach.cost();
 }
 
 std::uint64_t run_sort(const Conformation& conf, std::size_t M, std::size_t B,
-                       std::uint64_t w, const std::string& metrics,
+                       std::uint64_t w, harness::PointContext& ctx,
                        const std::string& label) {
   Machine mach(make_config(M, B, w));
   SparseMatrix<std::uint64_t> A(mach, conf, [](Coord) { return 1ull; });
   ExtArray<std::uint64_t> y(mach, conf.n(), "y");
   mach.reset_stats();
   sort_row_sums(A, y, Counting{});
-  emit_metrics(mach, label, metrics);
+  ctx.metrics(mach, label);
   return mach.cost();
 }
+
+struct Point {
+  std::uint64_t delta, w;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  util::Rng rng(cli.u64("seed", 11));
+  const BenchIo io = bench_io(cli, 11);
 
   banner("A1 (ablation)",
          "column-major is the adversarial layout of Section 5; row-major "
@@ -61,28 +64,30 @@ int main(int argc, char** argv) {
   util::Table t({"N", "delta", "omega", "naive_colmajor", "naive_rowmajor",
                  "col/row", "sort_colmajor", "hard_case_gap"});
   const std::size_t M = 256, B = 16;
-  for (std::uint64_t delta : {2, 4, 8}) {
-    for (std::uint64_t w : {1, 4, 16}) {
-      const std::uint64_t N = 1 << 13;
-      auto col = Conformation::delta_regular(N, delta, rng);
-      auto row = col.reordered(Layout::kRowMajor);
-      const std::string tag = " delta=" + std::to_string(delta) +
-                              " omega=" + std::to_string(w);
-      const auto naive_col = run_naive(col, M, B, w, metrics,
-                                       "A1 naive colmajor" + tag);
-      const auto naive_row = run_naive(row, M, B, w, metrics,
-                                       "A1 naive rowmajor" + tag);
-      const auto sort_col = run_sort(col, M, B, w, metrics,
-                                     "A1 sort colmajor" + tag);
-      const std::uint64_t best_col = std::min(naive_col, sort_col);
-      t.add_row({util::fmt(N), util::fmt(delta), util::fmt(w),
-                 util::fmt(naive_col), util::fmt(naive_row),
-                 util::fmt_ratio(double(naive_col), double(naive_row), 2),
-                 util::fmt(sort_col),
-                 util::fmt_ratio(double(best_col), double(naive_row), 2)});
-    }
-  }
-  emit(t, "Same conformation, both layouts (M=256, B=16):", csv);
+  std::vector<Point> grid;
+  for (std::uint64_t delta : {2, 4, 8})
+    for (std::uint64_t w : {1, 4, 16}) grid.push_back({delta, w});
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    const auto [delta, w] = grid[ctx.index()];
+    const std::uint64_t N = 1 << 13;
+    auto col = Conformation::delta_regular(N, delta, ctx.rng());
+    auto row = col.reordered(Layout::kRowMajor);
+    const std::string tag = " delta=" + std::to_string(delta) +
+                            " omega=" + std::to_string(w);
+    const auto naive_col = run_naive(col, M, B, w, ctx,
+                                     "A1 naive colmajor" + tag);
+    const auto naive_row = run_naive(row, M, B, w, ctx,
+                                     "A1 naive rowmajor" + tag);
+    const auto sort_col = run_sort(col, M, B, w, ctx,
+                                   "A1 sort colmajor" + tag);
+    const std::uint64_t best_col = std::min(naive_col, sort_col);
+    ctx.row({util::fmt(N), util::fmt(delta), util::fmt(w),
+             util::fmt(naive_col), util::fmt(naive_row),
+             util::fmt_ratio(double(naive_col), double(naive_row), 2),
+             util::fmt(sort_col),
+             util::fmt_ratio(double(best_col), double(naive_row), 2)});
+  });
+  emit(t, "Same conformation, both layouts (M=256, B=16):", io.csv);
 
   std::cout
       << "PASS criterion: col/row >> 1 and growing with delta (row-major\n"

@@ -8,6 +8,7 @@
 // (mergesorts) wear evenly (max ~ passes); pointer-maintenance and PQ
 // cascades concentrate writes.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "permute/dispatch.hpp"
@@ -22,32 +23,73 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-template <class F>
-void run_case(const char* name, std::size_t N, std::size_t M, std::size_t B,
-              std::uint64_t w, F&& body, util::Table& t, util::Rng& rng,
-              const std::string& metrics) {
+enum class Algo {
+  kAware,
+  kOblivious,
+  kSample,
+  kHeap,
+  kNaivePerm,
+  kSortPerm
+};
+
+const char* name_of(Algo a) {
+  switch (a) {
+    case Algo::kAware: return "aem_mergesort";
+    case Algo::kOblivious: return "em_mergesort";
+    case Algo::kSample: return "samplesort";
+    case Algo::kHeap: return "heapsort(pq)";
+    case Algo::kNaivePerm: return "naive_permute";
+    case Algo::kSortPerm: return "sort_permute";
+  }
+  return "?";
+}
+
+void run_case(Algo algo, std::size_t N, std::size_t M, std::size_t B,
+              std::uint64_t w, harness::PointContext& ctx) {
   Machine mach(make_config(M, B, w));
   mach.enable_wear_tracking();
-  auto keys = util::random_keys(N, rng);
+  auto keys = util::random_keys(N, ctx.rng());
   ExtArray<std::uint64_t> in(mach, N, "in");
   in.unsafe_host_fill(keys);
   ExtArray<std::uint64_t> out(mach, N, "out");
   mach.reset_stats();
-  body(in, out, rng);
-  emit_metrics(mach, std::string("A2 ") + name, metrics);
+  switch (algo) {
+    case Algo::kAware:
+      aem_merge_sort(in, out);
+      break;
+    case Algo::kOblivious:
+      em_merge_sort(in, out);
+      break;
+    case Algo::kSample:
+      aem_sample_sort(in, out);
+      break;
+    case Algo::kHeap:
+      aem_heap_sort(in, out);
+      break;
+    case Algo::kNaivePerm: {
+      auto dest = perm::random(in.size(), ctx.rng());
+      naive_permute(in, std::span<const std::uint64_t>(dest), out);
+      break;
+    }
+    case Algo::kSortPerm: {
+      auto dest = perm::random(in.size(), ctx.rng());
+      sort_permute(in, std::span<const std::uint64_t>(dest), out);
+      break;
+    }
+  }
+  ctx.metrics(mach, std::string("A2 ") + name_of(algo));
   const auto ws = mach.wear_stats();
-  t.add_row({name, util::fmt(mach.stats().writes), util::fmt(ws.blocks_written),
-             util::fmt(ws.mean_writes, 2), util::fmt(ws.max_writes),
-             util::fmt_ratio(double(ws.max_writes), ws.mean_writes, 2)});
+  ctx.row({name_of(algo), util::fmt(mach.stats().writes),
+           util::fmt(ws.blocks_written), util::fmt(ws.mean_writes, 2),
+           util::fmt(ws.max_writes),
+           util::fmt_ratio(double(ws.max_writes), ws.mean_writes, 2)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  util::Rng rng(cli.u64("seed", 12));
+  const BenchIo io = bench_io(cli, 12);
 
   banner("A2 (ablation)",
          "write-wear profiles: same cost model, very different endurance "
@@ -57,37 +99,13 @@ int main(int argc, char** argv) {
                  "max/block", "skew"});
   const std::size_t N = 1 << 14, M = 256, B = 16;
   const std::uint64_t w = 8;
-  run_case(
-      "aem_mergesort", N, M, B, w,
-      [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
-      rng, metrics);
-  run_case(
-      "em_mergesort", N, M, B, w,
-      [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
-      rng, metrics);
-  run_case(
-      "samplesort", N, M, B, w,
-      [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
-      rng, metrics);
-  run_case(
-      "heapsort(pq)", N, M, B, w,
-      [](auto& in, auto& out, util::Rng&) { aem_heap_sort(in, out); }, t,
-      rng, metrics);
-  run_case(
-      "naive_permute", N, M, B, w,
-      [](auto& in, auto& out, util::Rng& r) {
-        auto dest = perm::random(in.size(), r);
-        naive_permute(in, std::span<const std::uint64_t>(dest), out);
-      },
-      t, rng, metrics);
-  run_case(
-      "sort_permute", N, M, B, w,
-      [](auto& in, auto& out, util::Rng& r) {
-        auto dest = perm::random(in.size(), r);
-        sort_permute(in, std::span<const std::uint64_t>(dest), out);
-      },
-      t, rng, metrics);
-  emit(t, "Wear profile at N=2^14, M=256, B=16, omega=8:", csv);
+  const std::vector<Algo> algos = {Algo::kAware,    Algo::kOblivious,
+                                   Algo::kSample,   Algo::kHeap,
+                                   Algo::kNaivePerm, Algo::kSortPerm};
+  sweep_table(io, algos.size(), t, [&](harness::PointContext& ctx) {
+    run_case(algos[ctx.index()], N, M, B, w, ctx);
+  });
+  emit(t, "Wear profile at N=2^14, M=256, B=16, omega=8:", io.csv);
 
   std::cout
       << "Reading: 'skew' = hottest block vs average.  Pass-structured\n"

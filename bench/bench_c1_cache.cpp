@@ -16,6 +16,13 @@
 //                       just exceeds capacity while clean-first reclaims
 //                       the polluting stream blocks and keeps hitting.
 //
+// Every (workload, policy, omega, capacity) cell measures on its own
+// machine, so the cells run through the harness into slots; the guards
+// below compare ACROSS cells (cached vs uncached output, clean-first vs
+// LRU) and run serially on the slots afterwards.  All cells share one
+// staged input — the comparisons need like against like — so the input is
+// generated once, before the sweep, from the base seed.
+//
 // PASS criteria (hard guards, exit 1 on violation):
 //  * every cached run's output is identical to the uncached run's — the
 //    pool may only change Q, never results;
@@ -63,15 +70,21 @@ struct Grid {
   perm::Perm dest_cyclic;
 };
 
-/// Runs one (workload, policy, omega, capacity) cell.  capacity 0 = the
-/// uncached baseline.  The measured protocol is the documented one: stage,
+/// One measurement cell.  capacity 0 = the uncached baseline.
+struct Cell {
+  Workload w;
+  CachePolicy policy;
+  std::size_t cap;
+  std::uint64_t omega;
+};
+
+/// Runs one cell.  The measured protocol is the documented one: stage,
 /// reset_stats, run, flush_cache, read Q.
-CaseResult run_case(const Grid& g, Workload w, CachePolicy policy,
-                    std::size_t capacity, std::uint64_t omega,
-                    const std::string& metrics) {
-  Config cfg = make_config(g.M, g.B, omega);
-  cfg.cache.capacity_blocks = capacity;
-  cfg.cache.policy = policy;
+CaseResult run_case(const Grid& g, const Cell& c,
+                    harness::PointContext& ctx) {
+  Config cfg = make_config(g.M, g.B, c.omega);
+  cfg.cache.capacity_blocks = c.cap;
+  cfg.cache.policy = c.policy;
   Machine mach(cfg);
 
   ExtArray<std::uint64_t> in(mach, g.N, "in");
@@ -79,7 +92,7 @@ CaseResult run_case(const Grid& g, Workload w, CachePolicy policy,
   ExtArray<std::uint64_t> out(mach, g.N, "out");
 
   mach.reset_stats();
-  switch (w) {
+  switch (c.w) {
     case Workload::kSort:
       aem_merge_sort(in, out);
       break;
@@ -97,12 +110,10 @@ CaseResult run_case(const Grid& g, Workload w, CachePolicy policy,
   r.io = mach.stats();
   if (const BlockCache* bc = mach.cache()) r.cache = bc->stats();
   r.output = out.unsafe_host_view();
-  emit_metrics(mach,
-               std::string("C1 ") + name_of(w) + " policy=" +
-                   (capacity == 0 ? "off" : to_string(policy)) +
-                   " omega=" + std::to_string(omega) +
-                   " cap=" + std::to_string(capacity),
-               metrics);
+  ctx.metrics(mach, std::string("C1 ") + name_of(c.w) + " policy=" +
+                        (c.cap == 0 ? "off" : to_string(c.policy)) +
+                        " omega=" + std::to_string(c.omega) +
+                        " cap=" + std::to_string(c.cap));
   return r;
 }
 
@@ -110,17 +121,15 @@ CaseResult run_case(const Grid& g, Workload w, CachePolicy policy,
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 11));
+  const BenchIo io = bench_io(cli, 11);
+  util::Rng rng(io.seed);
 
   banner("C1",
          "write-back block cache: Q absorbed by policy x omega x capacity; "
          "clean-first (asymmetry-aware) vs LRU/CLOCK");
 
   Grid g;
-  g.N = full ? (1u << 16) : (1u << 14);
+  g.N = io.full ? (1u << 16) : (1u << 14);
   g.M = 1024;
   g.B = 16;
   g.keys = util::random_keys(g.N, rng);
@@ -144,24 +153,44 @@ int main(int argc, char** argv) {
   const CachePolicy policies[] = {CachePolicy::kLru, CachePolicy::kClock,
                                   CachePolicy::kCleanFirst};
 
+  // The flat cell grid, in the (workload, omega, baseline-then-caps x
+  // policies) order the tables and metrics log print in.
+  std::vector<Cell> cells;
+  for (Workload w :
+       {Workload::kSort, Workload::kScatterRandom, Workload::kScatterCyclic}) {
+    for (std::uint64_t omega : omegas) {
+      cells.push_back({w, CachePolicy::kLru, 0, omega});
+      for (std::size_t cap : caps.at(w))
+        for (CachePolicy p : policies) cells.push_back({w, p, cap, omega});
+    }
+  }
+  std::vector<CaseResult> slots(cells.size());
+  replay(harness::run_sweep(cells.size(), io.sweep,
+                            [&](harness::PointContext& ctx) {
+                              slots[ctx.index()] =
+                                  run_case(g, cells[ctx.index()], ctx);
+                            }),
+         nullptr, io.metrics);
+
   // results[(workload, omega, cap)][policy] = Q.
   std::map<std::tuple<int, std::uint64_t, std::size_t>,
            std::map<CachePolicy, std::uint64_t>> q_of;
   bool ok = true;
 
+  std::size_t idx = 0;
   for (Workload w :
        {Workload::kSort, Workload::kScatterRandom, Workload::kScatterCyclic}) {
     util::Table t({"workload", "policy", "omega", "capacity", "Q", "Q/off",
                    "reads", "writes", "read_hits", "write_hits",
                    "write_backs"});
     for (std::uint64_t omega : omegas) {
-      const CaseResult base = run_case(g, w, CachePolicy::kLru, 0, omega, metrics);
+      const CaseResult& base = slots[idx++];
       t.add_row({name_of(w), "off", util::fmt(omega), "0", util::fmt(base.q),
                  "1.00", util::fmt(base.io.reads), util::fmt(base.io.writes),
                  "-", "-", "-"});
       for (std::size_t cap : caps.at(w)) {
         for (CachePolicy p : policies) {
-          const CaseResult r = run_case(g, w, p, cap, omega, metrics);
+          const CaseResult& r = slots[idx++];
           q_of[{static_cast<int>(w), omega, cap}][p] = r.q;
           if (r.output != base.output) {
             std::cerr << "FAIL: " << name_of(w) << " policy=" << to_string(p)
@@ -180,7 +209,7 @@ int main(int argc, char** argv) {
       }
     }
     emit(t, std::string("C1 ") + name_of(w) + ": Q by policy/omega/capacity:",
-         csv);
+         io.csv);
   }
 
   if (ok)

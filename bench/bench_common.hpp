@@ -3,19 +3,25 @@
 // Every binary prints a header naming the paper claim it reproduces, one or
 // more tables in paper style, and (with --csv=FILE) a machine-readable
 // duplicate.  Default grids are sized to finish in seconds on one core;
-// --full enlarges them.
+// --full enlarges them, and --jobs=N (or AEM_JOBS) runs the sweep grid on N
+// worker threads via harness/parallel_sweep with BYTE-IDENTICAL output for
+// every N (tables, CSVs, and metrics logs; see docs/MODEL.md section 12).
 #pragma once
 
-#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/ext_array.hpp"
 #include "core/machine.hpp"
 #include "core/metrics.hpp"
+#include "harness/parallel_sweep.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -30,6 +36,12 @@ inline Config make_config(std::size_t M, std::size_t B, std::uint64_t omega) {
   return cfg;
 }
 
+/// Stages n random keys into a fresh external array.  The Rng should be the
+/// sweep point's PRIVATE generator (PointContext::rng()): per-point seeds
+/// derive from (base seed, point index) alone, so the staged data — and
+/// therefore every table — is independent of grid iteration order and of
+/// --jobs.  Threading one shared Rng through a sweep would make each
+/// point's input depend on how many points ran before it.
 inline ExtArray<std::uint64_t> staged_keys(Machine& mach, std::size_t n,
                                            util::Rng& rng,
                                            const char* name = "in") {
@@ -43,40 +55,114 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "=== " << id << " — " << claim << " ===\n\n";
 }
 
-/// Prints a table and optionally writes it as CSV to `csv_path`.  The first
-/// emit of a run truncates the file; later emits append (several tables per
-/// binary), so re-running a bench replaces its CSV instead of growing it.
+/// Append-only file sink with truncate-once-per-path semantics: the first
+/// append to a path in this process truncates the file (so re-running a
+/// bench replaces its CSV/metrics log instead of growing it), later appends
+/// extend it.  Mutex-guarded and each payload is written in one open/write
+/// cycle, so concurrent emitters can neither interleave partial payloads
+/// nor double-truncate — the hazard the old function-local `static
+/// std::vector<std::string> seen` in emit() had baked in.
+class CsvSink {
+ public:
+  void append(const std::string& path, const std::string& payload) {
+    if (path.empty()) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    const bool first = truncated_.insert(path).second;
+    std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
+    os << payload;
+  }
+
+ private:
+  std::mutex mu_;
+  std::set<std::string> truncated_;
+};
+
+/// The process-wide sink all emit helpers share.
+inline CsvSink& csv_sink() {
+  static CsvSink sink;
+  return sink;
+}
+
+/// Prints a table and optionally appends it as CSV to `csv_path` (first
+/// emit of a run truncates the file; several tables per binary).
 inline void emit(const util::Table& t, const std::string& title,
                  const std::string& csv_path) {
   std::cout << title << "\n";
   t.print(std::cout);
   std::cout << "\n";
   if (!csv_path.empty()) {
-    static std::vector<std::string> seen;
-    const bool first =
-        std::find(seen.begin(), seen.end(), csv_path) == seen.end();
-    if (first) seen.push_back(csv_path);
-    std::ofstream os(csv_path, first ? std::ios::trunc : std::ios::app);
+    std::ostringstream os;
     os << "# " << title << "\n";
     t.print_csv(os);
+    csv_sink().append(csv_path, os.str());
   }
 }
 
-/// Appends one machine-metrics JSON snapshot (one line, schema
-/// aem.machine.metrics/v3) to `path`.  Like emit(), the first use of a path
-/// in a run truncates the file, so re-running a bench replaces its metrics
-/// log instead of growing it.  No-op when `path` is empty, so benches can
-/// call it unconditionally and let --metrics=FILE opt in.
+/// Appends one already-taken metrics snapshot (one line, schema
+/// aem.machine.metrics/v3) to `path` through the sink.  No-op when `path`
+/// is empty, so benches can call it unconditionally and let --metrics=FILE
+/// opt in.
+inline void append_metrics(const MetricsSnapshot& snap,
+                           const std::string& path) {
+  if (path.empty()) return;
+  std::ostringstream os;
+  write_json(os, snap);
+  os << "\n";
+  csv_sink().append(path, os.str());
+}
+
+/// Snapshots `mach` now and appends it to `path` (serial convenience for
+/// code outside a sweep; inside a sweep use PointContext::metrics so
+/// snapshots replay in point order).
 inline void emit_metrics(const Machine& mach, const std::string& label,
                          const std::string& path) {
   if (path.empty()) return;
-  static std::vector<std::string> seen;
-  const bool first =
-      std::find(seen.begin(), seen.end(), path) == seen.end();
-  if (first) seen.push_back(path);
-  std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
-  write_json(os, snapshot_metrics(mach, label));
-  os << "\n";
+  append_metrics(snapshot_metrics(mach, label), path);
+}
+
+/// The flags every experiment binary shares, parsed once.
+struct BenchIo {
+  std::string csv;              ///< --csv=FILE (empty: no CSV)
+  std::string metrics;          ///< --metrics=FILE (empty: no metrics log)
+  bool full = false;            ///< --full: larger grids
+  std::uint64_t seed = 0;       ///< --seed: the sweep's base seed
+  harness::SweepConfig sweep;   ///< jobs (--jobs / AEM_JOBS) + base_seed
+};
+
+inline BenchIo bench_io(const util::Cli& cli, std::uint64_t default_seed) {
+  BenchIo io;
+  io.csv = cli.str("csv", "");
+  io.metrics = cli.str("metrics", "");
+  io.full = cli.flag("full");
+  io.seed = cli.u64("seed", default_seed);
+  io.sweep.jobs = cli.jobs();
+  io.sweep.base_seed = io.seed;
+  return io;
+}
+
+/// Replays per-point results in point order: rows into `t` (when non-null)
+/// and snapshots into the metrics log.  Called after run_sweep drains, on
+/// the calling thread — emission order is the grid order, never the
+/// scheduling order.
+inline void replay(std::vector<harness::PointResult> results, util::Table* t,
+                   const std::string& metrics_path) {
+  for (harness::PointResult& r : results) {
+    if (t != nullptr)
+      for (std::vector<std::string>& row : r.rows) t->add_row(std::move(row));
+    for (const MetricsSnapshot& s : r.snapshots)
+      append_metrics(s, metrics_path);
+  }
+}
+
+/// Runs `fn` over `points` sweep points on io.sweep.jobs workers and
+/// replays rows/metrics in point order.  The one-liner for benches whose
+/// rows are computed entirely within a point; benches with cross-point
+/// logic call harness::run_sweep directly and post-process the results.
+template <class Fn>
+void sweep_table(const BenchIo& io, std::size_t points, util::Table& t,
+                 Fn&& fn) {
+  replay(harness::run_sweep(points, io.sweep, std::forward<Fn>(fn)), &t,
+         io.metrics);
 }
 
 }  // namespace aem::bench

@@ -6,6 +6,7 @@
 // read/write split against the closed forms.  The theorem predicts the
 // ratio columns stay bounded as N grows (per machine).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/sort_bounds.hpp"
@@ -16,39 +17,47 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Table& t, util::Rng& rng, const std::string& metrics) {
+struct Point {
+  std::size_t N, M, B;
+  std::uint64_t w;
+};
+
+void run_case(const Point& p0, harness::PointContext& ctx) {
+  const auto [N, M, B, w] = p0;
   Machine mach(make_config(M, B, w));
-  auto in = staged_keys(mach, N, rng);
+  auto in = staged_keys(mach, N, ctx.rng());
   ExtArray<std::uint64_t> out(mach, N, "out");
   mach.reset_stats();
   aem_merge_sort(in, out);
 
-  emit_metrics(mach,
-               "E2 N=" + std::to_string(N) + " M=" + std::to_string(M) +
-                   " B=" + std::to_string(B) + " omega=" + std::to_string(w),
-               metrics);
+  ctx.metrics(mach, "E2 N=" + std::to_string(N) + " M=" + std::to_string(M) +
+                        " B=" + std::to_string(B) +
+                        " omega=" + std::to_string(w));
 
   bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
   const double q_bound = bounds::aem_sort_upper_bound(p);
   const double w_bound = bounds::aem_sort_write_bound(p);
-  t.add_row({util::fmt(std::uint64_t(N)), util::fmt(std::uint64_t(M)),
-             util::fmt(std::uint64_t(B)), util::fmt(w),
-             util::fmt(mach.stats().reads), util::fmt(mach.stats().writes),
-             util::fmt(mach.cost()),
-             util::fmt(q_bound, 0),
-             util::fmt_ratio(double(mach.cost()), q_bound),
-             util::fmt_ratio(double(mach.stats().writes), w_bound)});
+  ctx.row({util::fmt(std::uint64_t(N)), util::fmt(std::uint64_t(M)),
+           util::fmt(std::uint64_t(B)), util::fmt(w),
+           util::fmt(mach.stats().reads), util::fmt(mach.stats().writes),
+           util::fmt(mach.cost()),
+           util::fmt(q_bound, 0),
+           util::fmt_ratio(double(mach.cost()), q_bound),
+           util::fmt_ratio(double(mach.stats().writes), w_bound)});
+}
+
+void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
+                  util::Table& t) {
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    run_case(grid[ctx.index()], ctx);
+  });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 2));
+  const BenchIo io = bench_io(cli, 2);
 
   banner("E2",
          "Section 3: AEM mergesort Q = O(omega n log_{omega m} n), writes a "
@@ -57,29 +66,34 @@ int main(int argc, char** argv) {
   {
     util::Table t({"N", "M", "B", "omega", "reads", "writes", "Q",
                    "bound", "Q/bound", "writes/wbound"});
-    const std::size_t n_max = full ? (1u << 19) : (1u << 17);
+    std::vector<Point> grid;
+    const std::size_t n_max = io.full ? (1u << 19) : (1u << 17);
     for (std::size_t N = 1 << 13; N <= n_max; N <<= 1)
-      run_case(N, 256, 16, 8, t, rng, metrics);
-    emit(t, "Scaling in N (M=256, B=16, omega=8):", csv);
+      grid.push_back({N, 256, 16, 8});
+    sweep_points(io, grid, t);
+    emit(t, "Scaling in N (M=256, B=16, omega=8):", io.csv);
   }
 
   {
     util::Table t({"N", "M", "B", "omega", "reads", "writes", "Q",
                    "bound", "Q/bound", "writes/wbound"});
+    std::vector<Point> grid;
     for (std::uint64_t w : {1, 2, 4, 8, 16, 32, 64, 128})
-      run_case(1 << 16, 256, 16, w, t, rng, metrics);
+      grid.push_back({1 << 16, 256, 16, w});
+    sweep_points(io, grid, t);
     emit(t, "Scaling in omega (N=2^16, M=256, B=16; note omega crosses B):",
-         csv);
+         io.csv);
   }
 
   {
     util::Table t({"N", "M", "B", "omega", "reads", "writes", "Q",
                    "bound", "Q/bound", "writes/wbound"});
+    std::vector<Point> grid;
     for (std::size_t M : {128, 256, 512, 1024, 2048})
-      run_case(1 << 16, M, 16, 8, t, rng, metrics);
-    for (std::size_t B : {8, 16, 32, 64})
-      run_case(1 << 16, 512, B, 8, t, rng, metrics);
-    emit(t, "Machine-shape sweep (N=2^16, omega=8):", csv);
+      grid.push_back({1 << 16, M, 16, 8});
+    for (std::size_t B : {8, 16, 32, 64}) grid.push_back({1 << 16, 512, B, 8});
+    sweep_points(io, grid, t);
+    emit(t, "Machine-shape sweep (N=2^16, omega=8):", io.csv);
   }
 
   std::cout << "PASS criterion: Q/bound bounded and flat in N; writes a\n"

@@ -7,6 +7,7 @@
 // omega; and that the Section 3 merge keeps its bound for omega > B where
 // the earlier mergesort's analysis broke down.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/sort_bounds.hpp"
@@ -26,10 +27,10 @@ struct Costs {
 };
 
 Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Rng& rng, const std::string& metrics) {
+              harness::PointContext& ctx) {
   const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
                           " B=" + std::to_string(B) + " omega=" + std::to_string(w);
-  auto keys = util::random_keys(N, rng);
+  auto keys = util::random_keys(N, ctx.rng());
   Costs c{};
   {
     Machine mach(make_config(M, B, w));
@@ -39,7 +40,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_merge_sort(in, out);
     c.aware = mach.cost();
-    emit_metrics(mach, "E3 aware" + tag, metrics);
+    ctx.metrics(mach, "E3 aware" + tag);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -49,7 +50,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     em_merge_sort(in, out);
     c.oblivious = mach.cost();
-    emit_metrics(mach, "E3 oblivious" + tag, metrics);
+    ctx.metrics(mach, "E3 oblivious" + tag);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -59,7 +60,7 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_sample_sort(in, out);
     c.sample = mach.cost();
-    emit_metrics(mach, "E3 sample" + tag, metrics);
+    ctx.metrics(mach, "E3 sample" + tag);
   }
   if (M >= 16 * B) {  // the external PQ's memory requirement
     Machine mach(make_config(M, B, w));
@@ -69,19 +70,29 @@ Costs run_all(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     aem_heap_sort(in, out);
     c.heap = mach.cost();
-    emit_metrics(mach, "E3 heap" + tag, metrics);
+    ctx.metrics(mach, "E3 heap" + tag);
   }
   return c;
+}
+
+void shootout_row(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
+                  harness::PointContext& ctx) {
+  Costs c = run_all(N, M, B, w, ctx);
+  bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
+  const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
+                           ? "aware"
+                           : (c.oblivious <= c.sample ? "oblivious" : "sample");
+  ctx.row({util::fmt(w), util::fmt(c.aware), util::fmt(c.oblivious),
+           util::fmt(c.sample), c.heap ? util::fmt(c.heap) : std::string("-"),
+           util::fmt_ratio(double(c.oblivious), double(c.aware), 2),
+           util::fmt(bounds::predicted_oblivious_penalty(p), 2), winner});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 3));
+  const BenchIo io = bench_io(cli, 3);
 
   banner("E3",
          "omega-aware mergesort (Sec. 3) vs omega-oblivious EM mergesort vs "
@@ -90,46 +101,26 @@ int main(int argc, char** argv) {
   {
     util::Table t({"omega", "aware", "oblivious", "sample", "heap",
                    "obl/aware", "predicted", "winner"});
-    const std::size_t N = full ? (1 << 17) : (1 << 15);
+    const std::size_t N = io.full ? (1 << 17) : (1 << 15);
     const std::size_t M = 64, B = 8;
-    for (std::uint64_t w : {1, 4, 16, 64, 256, 1024}) {
-      Costs c = run_all(N, M, B, w, rng, metrics);
-      bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
-      const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
-                               ? "aware"
-                               : (c.oblivious <= c.sample ? "oblivious"
-                                                          : "sample");
-      t.add_row({util::fmt(w), util::fmt(c.aware), util::fmt(c.oblivious),
-                 util::fmt(c.sample),
-                 c.heap ? util::fmt(c.heap) : std::string("-"),
-                 util::fmt_ratio(double(c.oblivious), double(c.aware), 2),
-                 util::fmt(bounds::predicted_oblivious_penalty(p), 2),
-                 winner});
-    }
+    const std::vector<std::uint64_t> omegas = {1, 4, 16, 64, 256, 1024};
+    sweep_table(io, omegas.size(), t, [&](harness::PointContext& ctx) {
+      shootout_row(N, M, B, omegas[ctx.index()], ctx);
+    });
     emit(t, "Sweep omega at N=2^15, M=64, B=8 (small m: deep oblivious "
-            "recursion):", csv);
+            "recursion):", io.csv);
   }
 
   {
     util::Table t({"omega", "aware", "oblivious", "sample", "heap",
                    "obl/aware", "predicted", "winner"});
     const std::size_t N = 1 << 15, M = 256, B = 16;
-    for (std::uint64_t w : {1, 8, 16, 32, 128, 512}) {
-      Costs c = run_all(N, M, B, w, rng, metrics);
-      bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
-      const char* winner = c.aware <= c.oblivious && c.aware <= c.sample
-                               ? "aware"
-                               : (c.oblivious <= c.sample ? "oblivious"
-                                                          : "sample");
-      t.add_row({util::fmt(w), util::fmt(c.aware), util::fmt(c.oblivious),
-                 util::fmt(c.sample),
-                 c.heap ? util::fmt(c.heap) : std::string("-"),
-                 util::fmt_ratio(double(c.oblivious), double(c.aware), 2),
-                 util::fmt(bounds::predicted_oblivious_penalty(p), 2),
-                 winner});
-    }
+    const std::vector<std::uint64_t> omegas = {1, 8, 16, 32, 128, 512};
+    sweep_table(io, omegas.size(), t, [&](harness::PointContext& ctx) {
+      shootout_row(N, M, B, omegas[ctx.index()], ctx);
+    });
     emit(t, "Sweep omega across omega = B = 16 (M=256): the aware merge "
-            "needs no omega < B assumption:", csv);
+            "needs no omega < B assumption:", io.csv);
   }
 
   std::cout

@@ -7,6 +7,7 @@
 // best/LB is the empirical gap between the paper's upper and lower bounds.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/permute_bounds.hpp"
@@ -18,12 +19,17 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-              util::Table& t, util::Rng& rng, const std::string& metrics) {
+struct Point {
+  std::size_t N, M, B;
+  std::uint64_t w;
+};
+
+void run_case(const Point& pt, harness::PointContext& ctx) {
+  const auto [N, M, B, w] = pt;
   const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
                           " B=" + std::to_string(B) + " omega=" + std::to_string(w);
-  auto keys = util::random_keys(N, rng);
-  auto dest = perm::random(N, rng);
+  auto keys = util::random_keys(N, ctx.rng());
+  auto dest = perm::random(N, ctx.rng());
 
   std::uint64_t naive_cost, sort_cost;
   {
@@ -34,7 +40,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
     naive_cost = mach.cost();
-    emit_metrics(mach, "E4 naive" + tag, metrics);
+    ctx.metrics(mach, "E4 naive" + tag);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -44,7 +50,7 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     sort_permute(in, std::span<const std::uint64_t>(dest), out);
     sort_cost = mach.cost();
-    emit_metrics(mach, "E4 sort" + tag, metrics);
+    ctx.metrics(mach, "E4 sort" + tag);
   }
   Machine chooser(make_config(M, B, w));
   const PermuteStrategy picked = choose_permute_strategy(chooser, N);
@@ -54,21 +60,18 @@ void run_case(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
   // (which dominates once omega > B and the min picks the N branch).
   const double lb = bounds::permute_lower_bound_total(p);
   const std::uint64_t best = std::min(naive_cost, sort_cost);
-  t.add_row({util::fmt(std::uint64_t(N)), util::fmt(std::uint64_t(M)),
-             util::fmt(std::uint64_t(B)), util::fmt(w),
-             util::fmt(naive_cost), util::fmt(sort_cost), util::fmt(lb, 0),
-             util::fmt_ratio(double(best), lb, 2), to_string(picked),
-             bounds::permute_bound_applicable(p) ? "yes" : "no"});
+  ctx.row({util::fmt(std::uint64_t(N)), util::fmt(std::uint64_t(M)),
+           util::fmt(std::uint64_t(B)), util::fmt(w),
+           util::fmt(naive_cost), util::fmt(sort_cost), util::fmt(lb, 0),
+           util::fmt_ratio(double(best), lb, 2), to_string(picked),
+           bounds::permute_bound_applicable(p) ? "yes" : "no"});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 4));
+  const BenchIo io = bench_io(cli, 4);
 
   banner("E4",
          "Theorem 4.5: permutation cost >= min{N, omega n log_{omega m} n}; "
@@ -77,18 +80,26 @@ int main(int argc, char** argv) {
   {
     util::Table t({"N", "M", "B", "omega", "naive", "sort", "lower_bound",
                    "best/LB", "dispatcher", "thm_applies"});
-    const std::size_t n_max = full ? (1u << 18) : (1u << 16);
+    std::vector<Point> grid;
+    const std::size_t n_max = io.full ? (1u << 18) : (1u << 16);
     for (std::size_t N = 1 << 12; N <= n_max; N <<= 1)
-      run_case(N, 256, 16, 8, t, rng, metrics);
-    emit(t, "Scaling in N (M=256, B=16, omega=8):", csv);
+      grid.push_back({N, 256, 16, 8});
+    sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+      run_case(grid[ctx.index()], ctx);
+    });
+    emit(t, "Scaling in N (M=256, B=16, omega=8):", io.csv);
   }
 
   {
     util::Table t({"N", "M", "B", "omega", "naive", "sort", "lower_bound",
                    "best/LB", "dispatcher", "thm_applies"});
+    std::vector<Point> grid;
     for (std::uint64_t w : {1, 4, 16, 64, 256, 1024})
-      run_case(1 << 14, 128, 8, w, t, rng, metrics);
-    emit(t, "Scaling in omega (N=2^14, M=128, B=8):", csv);
+      grid.push_back({1 << 14, 128, 8, w});
+    sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+      run_case(grid[ctx.index()], ctx);
+    });
+    emit(t, "Scaling in omega (N=2^14, M=128, B=8):", io.csv);
   }
 
   std::cout << "PASS criterion: best/LB bounded (tightness); every row has\n"

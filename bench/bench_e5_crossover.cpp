@@ -5,8 +5,14 @@
 // omega log_{omega m} n > B.  We sweep omega at fixed (N, M, B) and B at
 // fixed (N, M, omega), locate the measured crossover, and compare with the
 // point where the predicted curves cross.
+//
+// Crossover detection compares ADJACENT sweep points, so the per-point
+// measurements run through the harness into slots and the scan for the
+// flip happens serially afterwards — the located crossover is identical
+// for every --jobs value.
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/permute_bounds.hpp"
@@ -23,11 +29,11 @@ struct Outcome {
 };
 
 Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
-                util::Rng& rng, const std::string& metrics) {
+                harness::PointContext& ctx) {
   const std::string tag = " N=" + std::to_string(N) + " M=" + std::to_string(M) +
                           " B=" + std::to_string(B) + " omega=" + std::to_string(w);
-  auto keys = util::random_keys(N, rng);
-  auto dest = perm::random(N, rng);
+  auto keys = util::random_keys(N, ctx.rng());
+  auto dest = perm::random(N, ctx.rng());
   Outcome o{};
   {
     Machine mach(make_config(M, B, w));
@@ -37,7 +43,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
     o.naive_cost = mach.cost();
-    emit_metrics(mach, "E5 naive" + tag, metrics);
+    ctx.metrics(mach, "E5 naive" + tag);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -47,7 +53,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
     mach.reset_stats();
     sort_permute(in, std::span<const std::uint64_t>(dest), out);
     o.sort_cost = mach.cost();
-    emit_metrics(mach, "E5 sort" + tag, metrics);
+    ctx.metrics(mach, "E5 sort" + tag);
   }
   return o;
 }
@@ -56,9 +62,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  util::Rng rng(cli.u64("seed", 5));
+  const BenchIo io = bench_io(cli, 5);
 
   banner("E5", "Theorem 4.5's min{.,.}: naive/sort-based crossover in omega "
                "and B");
@@ -70,9 +74,19 @@ int main(int argc, char** argv) {
     // B = 64 makes element-granular gathering wasteful enough that sorting
     // wins at small omega; the min{} flips as omega grows.
     const std::size_t N = 1 << 14, M = 1024, B = 64;
+    const std::vector<std::uint64_t> omegas = {1, 2, 4, 8, 16, 32, 64, 128,
+                                               256};
+    std::vector<Outcome> slots(omegas.size());
+    std::vector<harness::PointResult> results = harness::run_sweep(
+        omegas.size(), io.sweep, [&](harness::PointContext& ctx) {
+          slots[ctx.index()] = measure(N, M, B, omegas[ctx.index()], ctx);
+        });
+    replay(std::move(results), nullptr, io.metrics);
+
     std::optional<bool> prev_sort_won, prev_pred_sort;
-    for (std::uint64_t w : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-      Outcome o = measure(N, M, B, w, rng, metrics);
+    for (std::size_t i = 0; i < omegas.size(); ++i) {
+      const std::uint64_t w = omegas[i];
+      const Outcome& o = slots[i];
       Machine model(make_config(M, B, w));
       const double nb = predicted_naive_cost(model, N);
       const double sb = predicted_sort_cost(model, N);
@@ -90,7 +104,7 @@ int main(int argc, char** argv) {
                  sort_wins ? "sort" : "naive", util::fmt(nb, 0),
                  util::fmt(sb, 0), pred_sort ? "sort" : "naive"});
     }
-    emit(t, "Sweep omega (N=2^14, M=1024, B=64):", csv);
+    emit(t, "Sweep omega (N=2^14, M=1024, B=64):", io.csv);
     std::cout << "measured crossover omega  : "
               << (measured_cross ? util::fmt(*measured_cross) : "none")
               << "\npredicted crossover omega : "
@@ -103,19 +117,22 @@ int main(int argc, char** argv) {
                    "sort_pred", "predicted_winner"});
     const std::size_t N = 1 << 14;
     const std::uint64_t w = 16;
-    for (std::size_t B : {8, 16, 32, 64, 128}) {
+    const std::vector<std::size_t> blocks = {8, 16, 32, 64, 128};
+    sweep_table(io, blocks.size(), t, [&](harness::PointContext& ctx) {
+      const std::size_t B = blocks[ctx.index()];
       const std::size_t M = 16 * B;  // keep m fixed at 16
-      Outcome o = measure(N, M, B, w, rng, metrics);
+      Outcome o = measure(N, M, B, w, ctx);
       Machine model(make_config(M, B, w));
       const double nb = predicted_naive_cost(model, N);
       const double sb = predicted_sort_cost(model, N);
-      t.add_row({util::fmt(std::uint64_t(B)), util::fmt(o.naive_cost),
-                 util::fmt(o.sort_cost),
-                 o.sort_cost < o.naive_cost ? "sort" : "naive",
-                 util::fmt(nb, 0), util::fmt(sb, 0),
-                 sb < nb ? "sort" : "naive"});
-    }
-    emit(t, "Sweep B at m=16, omega=16 (bigger blocks favour sorting):", csv);
+      ctx.row({util::fmt(std::uint64_t(B)), util::fmt(o.naive_cost),
+               util::fmt(o.sort_cost),
+               o.sort_cost < o.naive_cost ? "sort" : "naive",
+               util::fmt(nb, 0), util::fmt(sb, 0),
+               sb < nb ? "sort" : "naive"});
+    });
+    emit(t, "Sweep B at m=16, omega=16 (bigger blocks favour sorting):",
+         io.csv);
   }
 
   std::cout << "PASS criterion: measured winners flip exactly once per\n"

@@ -3,8 +3,10 @@
 //
 // We record real traces (mergesort, sample sort, both permutation
 // programs), apply the rewrite, and report the measured cost factor — the
-// lemma's constant — plus the round structure of the result.
+// lemma's constant — plus the round structure of the result.  The grid is
+// program x omega; each point is one trace + rewrite on its own machine.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "permute/naive.hpp"
@@ -20,76 +22,90 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-template <class F>
-void run_case(const char* program, std::size_t N, std::size_t M,
-              std::size_t B, std::uint64_t w, F&& body, util::Table& t,
-              util::Rng& rng, const std::string& metrics) {
-  Machine mach(make_config(M, B, w));
-  auto keys = util::random_keys(N, rng);
+enum class Prog { kAware, kOblivious, kSample, kNaivePerm, kSortPerm };
+
+const char* name_of(Prog p) {
+  switch (p) {
+    case Prog::kAware: return "aem_mergesort";
+    case Prog::kOblivious: return "em_mergesort";
+    case Prog::kSample: return "samplesort";
+    case Prog::kNaivePerm: return "naive_permute";
+    case Prog::kSortPerm: return "sort_permute";
+  }
+  return "?";
+}
+
+struct Point {
+  Prog prog;
+  std::uint64_t w;
+};
+
+void run_case(const Point& pt, std::size_t N, std::size_t M, std::size_t B,
+              harness::PointContext& ctx) {
+  Machine mach(make_config(M, B, pt.w));
+  auto keys = util::random_keys(N, ctx.rng());
   ExtArray<std::uint64_t> in(mach, N, "in");
   in.unsafe_host_fill(keys);
   ExtArray<std::uint64_t> out(mach, N, "out");
   mach.enable_trace();
-  body(in, out, rng);
+  switch (pt.prog) {
+    case Prog::kAware:
+      aem_merge_sort(in, out);
+      break;
+    case Prog::kOblivious:
+      em_merge_sort(in, out);
+      break;
+    case Prog::kSample:
+      aem_sample_sort(in, out);
+      break;
+    case Prog::kNaivePerm: {
+      auto dest = perm::random(in.size(), ctx.rng());
+      naive_permute(in, std::span<const std::uint64_t>(dest), out);
+      break;
+    }
+    case Prog::kSortPerm: {
+      auto dest = perm::random(in.size(), ctx.rng());
+      sort_permute(in, std::span<const std::uint64_t>(dest), out);
+      break;
+    }
+  }
   auto trace = mach.take_trace();
-  emit_metrics(mach,
-               "E6 " + std::string(program) + " N=" + std::to_string(N) +
-                   " omega=" + std::to_string(w),
-               metrics);
+  ctx.metrics(mach, "E6 " + std::string(name_of(pt.prog)) +
+                        " N=" + std::to_string(N) +
+                        " omega=" + std::to_string(pt.w));
 
-  auto rb = rounds::make_round_based(*trace, mach.m(), w);
+  auto rb = rounds::make_round_based(*trace, mach.m(), pt.w);
   const bool valid = rounds::validate_rounds(rb.trace, rb.rounds, 2 * mach.m(),
-                                             w, /*check_lower=*/false);
-  t.add_row({program, util::fmt(std::uint64_t(N)), util::fmt(w),
-             util::fmt(rb.original_cost), util::fmt(rb.transformed_cost),
-             util::fmt(rb.cost_factor(), 3),
-             util::fmt(std::uint64_t(rb.rounds.size())),
-             valid ? "yes" : "NO"});
+                                             pt.w, /*check_lower=*/false);
+  ctx.row({name_of(pt.prog), util::fmt(std::uint64_t(N)), util::fmt(pt.w),
+           util::fmt(rb.original_cost), util::fmt(rb.transformed_cost),
+           util::fmt(rb.cost_factor(), 3),
+           util::fmt(std::uint64_t(rb.rounds.size())),
+           valid ? "yes" : "NO"});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  util::Rng rng(cli.u64("seed", 6));
+  const BenchIo io = bench_io(cli, 6);
 
   banner("E6", "Lemma 4.1: program -> round-based program on 2M at constant "
                "factor");
 
   util::Table t({"program", "N", "omega", "cost_P", "cost_P'", "factor",
                  "rounds", "valid"});
-  const std::size_t M = 128, B = 8;
-  for (std::uint64_t w : {1, 4, 16, 64}) {
-    run_case(
-        "aem_mergesort", 1 << 13, M, B, w,
-        [](auto& in, auto& out, util::Rng&) { aem_merge_sort(in, out); }, t,
-        rng, metrics);
-    run_case(
-        "em_mergesort", 1 << 13, M, B, w,
-        [](auto& in, auto& out, util::Rng&) { em_merge_sort(in, out); }, t,
-        rng, metrics);
-    run_case(
-        "samplesort", 1 << 13, M, B, w,
-        [](auto& in, auto& out, util::Rng&) { aem_sample_sort(in, out); }, t,
-        rng, metrics);
-    run_case(
-        "naive_permute", 1 << 13, M, B, w,
-        [](auto& in, auto& out, util::Rng& r) {
-          auto dest = perm::random(in.size(), r);
-          naive_permute(in, std::span<const std::uint64_t>(dest), out);
-        },
-        t, rng, metrics);
-    run_case(
-        "sort_permute", 1 << 13, M, B, w,
-        [](auto& in, auto& out, util::Rng& r) {
-          auto dest = perm::random(in.size(), r);
-          sort_permute(in, std::span<const std::uint64_t>(dest), out);
-        },
-        t, rng, metrics);
-  }
-  emit(t, "Round-based rewrite across programs and omega (M=128, B=8):", csv);
+  const std::size_t N = 1 << 13, M = 128, B = 8;
+  std::vector<Point> grid;
+  for (std::uint64_t w : {1, 4, 16, 64})
+    for (Prog p : {Prog::kAware, Prog::kOblivious, Prog::kSample,
+                   Prog::kNaivePerm, Prog::kSortPerm})
+      grid.push_back({p, w});
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    run_case(grid[ctx.index()], N, M, B, ctx);
+  });
+  emit(t, "Round-based rewrite across programs and omega (M=128, B=8):",
+       io.csv);
 
   std::cout << "PASS criterion: factor <= ~3 everywhere (the Lemma 4.1\n"
                "constant), valid = yes in every row.\n";

@@ -6,6 +6,7 @@
 // lemma's bound, plus the classical flash permuting lower bound
 // (Corollary 4.4's other ingredient).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/permute_bounds.hpp"
@@ -19,12 +20,17 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
-              std::uint64_t w, util::Table& t, util::Rng& rng,
-              const std::string& metrics) {
+struct Point {
+  bool use_sort;
+  std::size_t N, M, B;
+  std::uint64_t w;
+};
+
+void run_case(const Point& pt, harness::PointContext& ctx) {
+  const auto [use_sort, N, M, B, w] = pt;
   Machine mach(make_config(M, B, w));
-  auto atoms = util::distinct_keys(N, rng);
-  auto dest = perm::random(N, rng);
+  auto atoms = util::distinct_keys(N, ctx.rng());
+  auto dest = perm::random(N, ctx.rng());
   ExtArray<std::uint64_t> in(mach, N, "in");
   in.unsafe_host_fill(atoms);
   in.set_atom_extractor([](const std::uint64_t& v) { return v; });
@@ -37,11 +43,9 @@ void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
     naive_permute(in, std::span<const std::uint64_t>(dest), out);
   }
   auto trace = mach.take_trace();
-  emit_metrics(mach,
-               std::string("E7 ") + (use_sort ? "sort" : "naive") +
-                   " N=" + std::to_string(N) + " B=" + std::to_string(B) +
-                   " omega=" + std::to_string(w),
-               metrics);
+  ctx.metrics(mach, std::string("E7 ") + (use_sort ? "sort" : "naive") +
+                        " N=" + std::to_string(N) + " B=" + std::to_string(B) +
+                        " omega=" + std::to_string(w));
   auto r = flash::simulate_permutation_trace(
       *trace, std::span<const std::uint64_t>(atoms), in.id(), B, w);
 
@@ -50,39 +54,40 @@ void run_case(bool use_sort, std::size_t N, std::size_t M, std::size_t B,
   // small-block I/Os times elements per small block.
   const double flash_lb =
       bounds::av_permute_bound_ios(N, M, B / w) * double(B / w);
-  t.add_row({use_sort ? "sort" : "naive", util::fmt(std::uint64_t(N)),
-             util::fmt(std::uint64_t(B)), util::fmt(w), util::fmt(r.aem_cost),
-             util::fmt(r.total_volume()), util::fmt(bound, 0),
-             util::fmt_ratio(double(r.total_volume()), bound, 3),
-             util::fmt(flash_lb, 0), util::fmt(r.destroyed_atoms)});
+  ctx.row({use_sort ? "sort" : "naive", util::fmt(std::uint64_t(N)),
+           util::fmt(std::uint64_t(B)), util::fmt(w), util::fmt(r.aem_cost),
+           util::fmt(r.total_volume()), util::fmt(bound, 0),
+           util::fmt_ratio(double(r.total_volume()), bound, 3),
+           util::fmt(flash_lb, 0), util::fmt(r.destroyed_atoms)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 7));
+  const BenchIo io = bench_io(cli, 7);
 
   banner("E7", "Lemma 4.3: AEM permutation program -> flash program of "
                "volume <= 2N + 2QB/omega");
 
   util::Table t({"program", "N", "B", "omega", "Q_aem", "flash_volume",
                  "lemma_bound", "vol/bound", "flash_LB", "destroyed"});
-  const std::size_t n_max = full ? (1u << 15) : (1u << 13);
+  std::vector<Point> grid;
+  const std::size_t n_max = io.full ? (1u << 15) : (1u << 13);
   for (std::size_t N = 1 << 11; N <= n_max; N <<= 1) {
     for (std::uint64_t w : {2, 4, 8}) {
-      run_case(false, N, 128, 16, w, t, rng, metrics);
-      run_case(true, N, 128, 16, w, t, rng, metrics);
+      grid.push_back({false, N, 128, 16, w});
+      grid.push_back({true, N, 128, 16, w});
     }
   }
   // Larger blocks: B = 32 with omega up to 16 (B must be a multiple of
   // omega — the Lemma 4.3 precondition).
   for (std::uint64_t w : {4, 16})
-    for (bool s : {false, true}) run_case(s, 1 << 13, 256, 32, w, t, rng, metrics);
-  emit(t, "Flash-model replay of permutation programs:", csv);
+    for (bool s : {false, true}) grid.push_back({s, 1 << 13, 256, 32, w});
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    run_case(grid[ctx.index()], ctx);
+  });
+  emit(t, "Flash-model replay of permutation programs:", io.csv);
 
   std::cout << "PASS criterion: vol/bound <= 1 in every row (the lemma),\n"
                "destroyed = 0 (atom conservation), and flash_volume >=\n"

@@ -8,6 +8,7 @@
 // moderate, N-independent factor — which is exactly how the paper derives
 // Theorem 4.5 from the counting bound.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/counting.hpp"
@@ -19,32 +20,40 @@ namespace {
 using namespace aem;
 using namespace aem::bench;
 
-void row(std::uint64_t N, std::uint64_t M, std::uint64_t B, std::uint64_t w,
-         util::Table& t, const std::string& metrics) {
-  if (!metrics.empty()) {
-    // E8 is pure bound arithmetic — no I/O happens.  Emit the model machine
-    // anyway so every bench's metrics log names its parameter grid.
-    Machine model(make_config(M, B, w));
-    emit_metrics(model, "E8 N=" + std::to_string(N), metrics);
-  }
+struct Point {
+  std::uint64_t N, M, B, w;
+};
+
+void run_case(const Point& pt, harness::PointContext& ctx) {
+  const auto [N, M, B, w] = pt;
+  // E8 is pure bound arithmetic — no I/O happens.  Emit the model machine
+  // anyway so every bench's metrics log names its parameter grid.
+  Machine model(make_config(M, B, w));
+  ctx.metrics(model, "E8 N=" + std::to_string(N));
   bounds::AemParams p{.N = N, .M = M, .B = B, .omega = w};
   const double per_round = bounds::log2_perms_per_round(p);
   const double target = bounds::log2_target_permutations(p);
   const std::uint64_t R = bounds::min_rounds_counting(p);
   const double exact = bounds::counting_cost_bound_round_based(p);
   const double closed = bounds::permute_lower_bound(p);
-  t.add_row({util::fmt(N), util::fmt(M), util::fmt(B), util::fmt(w),
-             util::fmt(target, 0), util::fmt(per_round, 0), util::fmt(R),
-             util::fmt(exact, 0), util::fmt(closed, 0),
-             util::fmt_ratio(closed, exact, 2)});
+  ctx.row({util::fmt(N), util::fmt(M), util::fmt(B), util::fmt(w),
+           util::fmt(target, 0), util::fmt(per_round, 0), util::fmt(R),
+           util::fmt(exact, 0), util::fmt(closed, 0),
+           util::fmt_ratio(closed, exact, 2)});
+}
+
+void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
+                  util::Table& t) {
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    run_case(grid[ctx.index()], ctx);
+  });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
+  const BenchIo io = bench_io(cli, 8);
 
   banner("E8", "Section 4.2 counting bound: minimal rounds R from "
                "inequality (1) vs the closed form");
@@ -52,29 +61,36 @@ int main(int argc, char** argv) {
   {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
+    std::vector<Point> grid;
     for (std::uint64_t N = 1 << 14; N <= (1ull << 26); N <<= 2)
-      row(N, 1 << 9, 16, 4, t, metrics);
-    emit(t, "Scaling in N (M=512, B=16, omega=4):", csv);
+      grid.push_back({N, 1 << 9, 16, 4});
+    sweep_points(io, grid, t);
+    emit(t, "Scaling in N (M=512, B=16, omega=4):", io.csv);
   }
 
   {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
+    std::vector<Point> grid;
     for (std::uint64_t w : {1, 4, 16, 64, 256})
-      row(1 << 20, 1 << 9, 16, w, t, metrics);
-    emit(t, "Scaling in omega (N=2^20):", csv);
+      grid.push_back({1 << 20, 1 << 9, 16, w});
+    sweep_points(io, grid, t);
+    emit(t, "Scaling in omega (N=2^20):", io.csv);
   }
 
   {
     util::Table t({"N", "M", "B", "omega", "lg(target)", "lg(per_round)",
                    "R_min", "exact_LB", "closed_LB", "closed/exact"});
+    std::vector<Point> grid;
     for (std::uint64_t M : {1 << 7, 1 << 9, 1 << 11, 1 << 13})
-      row(1 << 20, M, 16, 8, t, metrics);
+      grid.push_back({1 << 20, M, 16, 8});
     for (std::uint64_t B : {8, 16, 32, 64, 128})
-      row(1 << 20, 1 << 10, B, 8, t, metrics);
+      grid.push_back({1 << 20, 1 << 10, B, 8});
     // B = 1: the (M, omega)-ARAM special case of Blelloch et al.
-    for (std::uint64_t w : {1, 8, 64}) row(1 << 20, 1 << 10, 1, w, t, metrics);
-    emit(t, "Machine-shape sweep (N=2^20; the B=1 rows are the ARAM):", csv);
+    for (std::uint64_t w : {1, 8, 64}) grid.push_back({1 << 20, 1 << 10, 1, w});
+    sweep_points(io, grid, t);
+    emit(t, "Machine-shape sweep (N=2^20; the B=1 rows are the ARAM):",
+         io.csv);
   }
 
   {
@@ -87,9 +103,11 @@ int main(int argc, char** argv) {
     struct Toy {
       std::uint32_t N, M, B, omega, max_rounds;
     };
-    for (const Toy toy : {Toy{4, 8, 2, 1, 8}, Toy{4, 8, 2, 2, 8},
-                          Toy{4, 2, 1, 1, 12}, Toy{4, 2, 1, 2, 12},
-                          Toy{5, 8, 2, 1, 8}, Toy{6, 8, 2, 1, 6}}) {
+    const std::vector<Toy> toys = {Toy{4, 8, 2, 1, 8}, Toy{4, 8, 2, 2, 8},
+                                   Toy{4, 2, 1, 1, 12}, Toy{4, 2, 1, 2, 12},
+                                   Toy{5, 8, 2, 1, 8}, Toy{6, 8, 2, 1, 6}};
+    sweep_table(io, toys.size(), t, [&](harness::PointContext& ctx) {
+      const Toy toy = toys[ctx.index()];
       bounds::EnumParams ep{.N = toy.N, .M = toy.M, .B = toy.B,
                             .omega = toy.omega, .locations = 0,
                             .max_rounds = toy.max_rounds};
@@ -99,16 +117,16 @@ int main(int argc, char** argv) {
       const std::uint64_t rmin = bounds::min_rounds_counting(ap);
       const bool complete = r.rounds_to_complete.has_value();
       const bool sound = !complete || rmin <= *r.rounds_to_complete;
-      t.add_row({util::fmt(std::uint64_t(toy.N)), util::fmt(std::uint64_t(toy.M)),
-                 util::fmt(std::uint64_t(toy.B)),
-                 util::fmt(std::uint64_t(toy.omega)), util::fmt(r.target),
-                 util::fmt(r.states_explored),
-                 complete ? util::fmt(std::uint64_t(*r.rounds_to_complete))
-                          : std::string(">max"),
-                 util::fmt(rmin), sound ? "yes" : "NO"});
-    }
+      ctx.row({util::fmt(std::uint64_t(toy.N)), util::fmt(std::uint64_t(toy.M)),
+               util::fmt(std::uint64_t(toy.B)),
+               util::fmt(std::uint64_t(toy.omega)), util::fmt(r.target),
+               util::fmt(r.states_explored),
+               complete ? util::fmt(std::uint64_t(*r.rounds_to_complete))
+                        : std::string(">max"),
+               util::fmt(rmin), sound ? "yes" : "NO"});
+    });
     emit(t, "Mechanized ground truth (exhaustive round-based program "
-            "search at toy scale):", csv);
+            "search at toy scale):", io.csv);
   }
 
   std::cout << "PASS criterion: closed/exact stays within a moderate band\n"

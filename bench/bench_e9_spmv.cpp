@@ -8,6 +8,7 @@
 // measured costs against the bound, and locate the crossover.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bounds/spmv_bounds.hpp"
@@ -22,17 +23,22 @@ using namespace aem;
 using namespace aem::bench;
 using namespace aem::spmv;
 
+struct Point {
+  std::uint64_t N, delta;
+  std::size_t M, B;
+  std::uint64_t w;
+};
+
 struct Costs {
   std::uint64_t naive, sorted;
 };
 
-Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
-               std::size_t B, std::uint64_t w, util::Rng& rng,
-               const std::string& metrics) {
+Costs run_both(const Point& pt, harness::PointContext& ctx) {
+  const auto [N, delta, M, B, w] = pt;
   const std::string tag = " N=" + std::to_string(N) +
                           " delta=" + std::to_string(delta) +
                           " omega=" + std::to_string(w);
-  auto conf = Conformation::delta_regular(N, delta, rng);
+  auto conf = Conformation::delta_regular(N, delta, ctx.rng());
   Costs c{};
   // The Theorem 5.1 setting exactly: the all-ones vector is implicit
   // (row sums) — no x reads for either program.
@@ -43,7 +49,7 @@ Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
     mach.reset_stats();
     naive_row_sums(A, y, Counting{});
     c.naive = mach.cost();
-    emit_metrics(mach, "E9 naive" + tag, metrics);
+    ctx.metrics(mach, "E9 naive" + tag);
   }
   {
     Machine mach(make_config(M, B, w));
@@ -52,34 +58,37 @@ Costs run_both(std::uint64_t N, std::uint64_t delta, std::size_t M,
     mach.reset_stats();
     sort_row_sums(A, y, Counting{});
     c.sorted = mach.cost();
-    emit_metrics(mach, "E9 sort" + tag, metrics);
+    ctx.metrics(mach, "E9 sort" + tag);
   }
   return c;
 }
 
-void row(std::uint64_t N, std::uint64_t delta, std::size_t M, std::size_t B,
-         std::uint64_t w, util::Table& t, util::Rng& rng,
-         const std::string& metrics) {
-  Costs c = run_both(N, delta, M, B, w, rng, metrics);
-  bounds::SpmvParams p{.N = N, .delta = delta, .M = M, .B = B, .omega = w};
+void run_case(const Point& pt, harness::PointContext& ctx) {
+  Costs c = run_both(pt, ctx);
+  bounds::SpmvParams p{.N = pt.N, .delta = pt.delta, .M = pt.M, .B = pt.B,
+                       .omega = pt.w};
   // Theorem 5.1 plus the trivial "write the output vector" bound omega*n.
   const double lb = bounds::spmv_lower_bound_total(p);
   const std::uint64_t best = std::min(c.naive, c.sorted);
-  t.add_row({util::fmt(N), util::fmt(delta), util::fmt(w),
-             util::fmt(c.naive), util::fmt(c.sorted),
-             c.sorted < c.naive ? "sort" : "naive", util::fmt(lb, 0),
-             util::fmt_ratio(double(best), lb, 2),
-             bounds::spmv_bound_applicable(p) ? "yes" : "no"});
+  ctx.row({util::fmt(pt.N), util::fmt(pt.delta), util::fmt(pt.w),
+           util::fmt(c.naive), util::fmt(c.sorted),
+           c.sorted < c.naive ? "sort" : "naive", util::fmt(lb, 0),
+           util::fmt_ratio(double(best), lb, 2),
+           bounds::spmv_bound_applicable(p) ? "yes" : "no"});
+}
+
+void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
+                  util::Table& t) {
+  sweep_table(io, grid.size(), t, [&](harness::PointContext& ctx) {
+    run_case(grid[ctx.index()], ctx);
+  });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
-  util::Rng rng(cli.u64("seed", 9));
+  const BenchIo io = bench_io(cli, 9);
 
   banner("E9", "Section 5: SpMxV naive O(H + omega n) vs sorting-based "
                "O(omega h log_{omega m}(N/max{delta,B}) + omega n) vs "
@@ -88,10 +97,12 @@ int main(int argc, char** argv) {
   {
     util::Table t({"N", "delta", "omega", "naive", "sort", "winner",
                    "Thm5.1_LB", "best/LB", "thm_applies"});
-    const std::uint64_t N = full ? (1 << 15) : (1 << 13);
+    const std::uint64_t N = io.full ? (1 << 15) : (1 << 13);
+    std::vector<Point> grid;
     for (std::uint64_t delta : {1, 2, 4, 8, 16, 32})
-      row(N, delta, 256, 16, 4, t, rng, metrics);
-    emit(t, "Sweep delta (M=256, B=16, omega=4):", csv);
+      grid.push_back({N, delta, 256, 16, 4});
+    sweep_points(io, grid, t);
+    emit(t, "Sweep delta (M=256, B=16, omega=4):", io.csv);
   }
 
   {
@@ -100,19 +111,23 @@ int main(int argc, char** argv) {
     // program wins at small omega; the min{} flips as omega grows.
     util::Table t({"N", "delta", "omega", "naive", "sort", "winner",
                    "Thm5.1_LB", "best/LB", "thm_applies"});
+    std::vector<Point> grid;
     for (std::uint64_t w : {1, 2, 4, 8, 16, 64, 256})
-      row(1 << 13, 4, 1024, 64, w, t, rng, metrics);
+      grid.push_back({1 << 13, 4, 1024, 64, w});
+    sweep_points(io, grid, t);
     emit(t, "Sweep omega (N=2^13, delta=4, B=64): naive takes over as "
-            "writes dominate:", csv);
+            "writes dominate:", io.csv);
   }
 
   {
     util::Table t({"N", "delta", "omega", "naive", "sort", "winner",
                    "Thm5.1_LB", "best/LB", "thm_applies"});
-    const std::uint64_t n_max = full ? (1 << 16) : (1 << 14);
+    std::vector<Point> grid;
+    const std::uint64_t n_max = io.full ? (1 << 16) : (1 << 14);
     for (std::uint64_t N = 1 << 11; N <= n_max; N <<= 1)
-      row(N, 4, 256, 16, 4, t, rng, metrics);
-    emit(t, "Scaling in N (delta=4, omega=4):", csv);
+      grid.push_back({N, 4, 256, 16, 4});
+    sweep_points(io, grid, t);
+    emit(t, "Scaling in N (delta=4, omega=4):", io.csv);
   }
 
   std::cout << "PASS criterion: best/LB bounded; winner flips from sort to\n"

@@ -11,6 +11,19 @@
 // PASS criterion: phase-attributed I/O >= 3x the legacy replica's
 // throughput.  The bench prints the ratio and exits nonzero if it regresses
 // below 3x, so a slow hot path fails loudly in CI.
+//
+// Two more wall-clock sections ride along (M0 is the one bench whose
+// tables legitimately contain timings, so it is excluded from the --jobs
+// byte-determinism check):
+//  * merge-kernel speedup — em_merge_group with the loser-tree selection
+//    kernel vs the reference O(k) scan at k in {4, 16, 64, 256}; guard:
+//    >= --min-kernel-speedup (default 2x) at k >= 64;
+//  * parallel-sweep speedup — a fixed grid of mergesort machines through
+//    harness::run_sweep at --jobs=1 vs --jobs=N; guard:
+//    >= --min-sweep-speedup, default 0 (report-only) because the measured
+//    ratio is hardware-bound — on a single-core container it is ~1x no
+//    matter how correct the harness is.  CI on a multi-core box passes
+//    --jobs=8 --min-sweep-speedup=4.
 #include <chrono>
 #include <iostream>
 #include <map>
@@ -19,6 +32,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sort/em_mergesort.hpp"
+#include "sort/mergesort.hpp"
 
 namespace {
 
@@ -121,10 +136,13 @@ void io_mix(M& mach, std::uint32_t array, std::uint64_t ops) {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const bool full = cli.flag("full");
+  const BenchIo io = bench_io(cli, 0);
+  const std::string& csv = io.csv;
+  const std::string& metrics = io.metrics;
+  const bool full = io.full;
   const double min_speedup = cli.f64("min-speedup", 3.0);
+  const double min_kernel_speedup = cli.f64("min-kernel-speedup", 2.0);
+  const double min_sweep_speedup = cli.f64("min-sweep-speedup", 0.0);
   const std::uint64_t batch = full ? (1u << 22) : (1u << 20);
 
   banner("M0 (meta)",
@@ -324,6 +342,112 @@ int main(int argc, char** argv) {
     std::cout << "cache bypass guard: counters byte-identical with and "
                  "without a capacity-0 cache config\n\n";
   }
+
+  // --- Merge-kernel speedup: loser tree vs the reference O(k) scan -------
+  // The same merge (same runs, same machine, byte-identical I/O charge
+  // sequence — tests/test_loser_tree.cpp proves Q equality) timed with both
+  // selection kernels.  The loser tree does ceil(log2 k) comparisons per
+  // output element where the scan does k, so the gap must widen with k.
+  bool kernel_ok = true;
+  {
+    util::Table kt({"k", "N", "scan_Melem/s", "loser_Melem/s", "speedup"});
+    for (const std::size_t k : {4, 16, 64, 256}) {
+      const std::size_t B = 16;
+      const std::size_t run_len = full ? 4096 : 1024;
+      const std::size_t N = k * run_len;
+      // Enough memory for k scanner blocks + the writer block + the 2k-word
+      // head state em_merge_group reserves, with headroom.
+      Config mcfg = make_config((k + 2) * B + 4 * k, B, 8);
+      Machine mach(mcfg);
+      util::Rng rng(io.seed + k);
+      std::vector<std::uint64_t> host;
+      std::vector<RunBounds> runs;
+      host.reserve(N);
+      for (std::size_t r = 0; r < k; ++r) {
+        auto keys = util::random_keys(run_len, rng);
+        std::sort(keys.begin(), keys.end());
+        runs.push_back(RunBounds{host.size(), host.size() + run_len});
+        host.insert(host.end(), keys.begin(), keys.end());
+      }
+      ExtArray<std::uint64_t> in(mach, N, "runs");
+      in.unsafe_host_fill(host);
+      ExtArray<std::uint64_t> out(mach, N, "out");
+      auto time_kernel = [&](MergeKernel kernel) {
+        return measure(
+            [&](std::uint64_t) {
+              sort_detail::em_merge_group(
+                  in, std::span<const RunBounds>(runs), out, 0,
+                  std::less<std::uint64_t>{}, kernel);
+              keep(mach.stats().reads);
+            },
+            N);
+      };
+      const Measurement scan = time_kernel(MergeKernel::kScanSelect);
+      const Measurement loser = time_kernel(MergeKernel::kLoserTree);
+      const double ratio = loser.mops() / scan.mops();
+      kt.add_row({util::fmt(std::uint64_t(k)), util::fmt(std::uint64_t(N)),
+                  util::fmt(scan.mops(), 1), util::fmt(loser.mops(), 1),
+                  util::fmt(ratio, 2)});
+      if (k >= 64 && ratio < min_kernel_speedup) {
+        std::cerr << "FAIL: loser-tree kernel speedup " << util::fmt(ratio, 2)
+                  << "x below the " << util::fmt(min_kernel_speedup, 1)
+                  << "x floor at k=" << k << "\n";
+        kernel_ok = false;
+      }
+    }
+    emit(kt, "Merge selection kernel: loser tree vs O(k) scan "
+             "(same I/O charge sequence):", csv);
+  }
+
+  // --- Parallel-sweep wall clock: --jobs=1 vs --jobs=N --------------------
+  // A fixed 8-point grid of independent mergesort machines through
+  // harness::run_sweep.  The results are byte-identical for any jobs value
+  // (that is the harness contract); this section measures only the wall
+  // clock.  The speedup ceiling is min(jobs, hardware threads).
+  {
+    const std::size_t points = 8;
+    const std::size_t sweep_n = full ? (1u << 15) : (1u << 13);
+    auto sweep_once = [&](std::size_t jobs) {
+      harness::SweepConfig sc;
+      sc.jobs = jobs;
+      sc.base_seed = io.seed;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto results = harness::run_sweep(
+          points, sc, [&](harness::PointContext& ctx) {
+            Machine mach(make_config(256, 16, 8));
+            auto in = staged_keys(mach, sweep_n, ctx.rng());
+            ExtArray<std::uint64_t> out(mach, sweep_n, "out");
+            aem_merge_sort(in, out);
+            ctx.row({util::fmt(mach.cost())});
+          });
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      return std::pair<double, std::size_t>(s, results.size());
+    };
+    const std::size_t jobs = harness::resolve_jobs(io.sweep.jobs);
+    const auto [serial_s, n1] = sweep_once(1);
+    const auto [parallel_s, n2] = sweep_once(jobs);
+    const double sweep_speedup = serial_s / parallel_s;
+    util::Table st({"points", "N/point", "jobs", "serial_s", "parallel_s",
+                    "speedup"});
+    st.add_row({util::fmt(std::uint64_t(points)),
+                util::fmt(std::uint64_t(sweep_n)),
+                util::fmt(std::uint64_t(jobs)), util::fmt(serial_s, 3),
+                util::fmt(parallel_s, 3), util::fmt(sweep_speedup, 2)});
+    emit(st, "Parallel sweep wall clock (" + util::fmt(std::uint64_t(n1)) +
+                 "+" + util::fmt(std::uint64_t(n2)) +
+                 " points; ceiling = min(jobs, hardware threads)):",
+         csv);
+    if (min_sweep_speedup > 0.0 && sweep_speedup < min_sweep_speedup) {
+      std::cerr << "FAIL: sweep speedup " << util::fmt(sweep_speedup, 2)
+                << "x below the " << util::fmt(min_sweep_speedup, 1)
+                << "x floor at --jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+
+  if (!kernel_ok) return 1;
 
   const double speedup = phased_mops / legacy_mops;
   std::cout << "phase-attributed I/O speedup vs seed: " << util::fmt(speedup, 2)

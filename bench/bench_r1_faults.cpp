@@ -11,6 +11,11 @@
 // Sweep 1: fault rate {0, 1e-4, 1e-3, 1e-2} x omega {1, 4, 16}.  The
 //   rate-0 row doubles as the zero-overhead-when-off guard: its Q must be
 //   byte-identical to a machine with no policy installed (exit 1 if not).
+//   Each (omega, rate) cell measures on its own machine, so the sweep runs
+//   through the harness into slots; the clean-vs-faulty comparisons (which
+//   reach ACROSS points) happen serially afterwards.  All runs at one
+//   omega share the same input (fixed input seed), by design — the
+//   overhead column compares like with like.
 // Sweep 2: endurance x spares — how far a write-hammering workload gets
 //   before the spare pool runs dry, and what the migrations cost.
 //
@@ -19,6 +24,8 @@
 // that silently loses data is worse than none.
 #include <algorithm>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/faults.hpp"
@@ -39,7 +46,7 @@ struct FaultRunResult {
 
 FaultRunResult run_sort(std::size_t N, std::size_t M, std::size_t B,
                         std::uint64_t omega, const FaultConfig* fc,
-                        std::uint64_t input_seed, const std::string& metrics,
+                        std::uint64_t input_seed, harness::PointContext& ctx,
                         const std::string& label) {
   Machine mach(make_config(M, B, omega));
   if (fc != nullptr) mach.install_faults(*fc);
@@ -58,7 +65,7 @@ FaultRunResult run_sort(std::size_t N, std::size_t M, std::size_t B,
   r.io = mach.stats();
   if (const FaultPolicy* fp = mach.faults()) r.fs = fp->stats();
   r.verified = out.unsafe_host_view() == expect;
-  emit_metrics(mach, label, metrics);
+  ctx.metrics(mach, label);
   return r;
 }
 
@@ -66,61 +73,88 @@ FaultRunResult run_sort(std::size_t N, std::size_t M, std::size_t B,
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const std::string csv = cli.str("csv", "");
-  const std::string metrics = cli.str("metrics", "");
-  const std::uint64_t fault_seed = cli.u64("seed", 2017);
-  const bool full = cli.flag("full");
+  const BenchIo io = bench_io(cli, 2017);
+  const std::uint64_t fault_seed = io.seed;
 
   banner("R1 (robustness)",
          "the omega-weighted price of recovery: Q overhead of running "
          "mergesort on a faulty device");
 
-  const std::size_t N = full ? (1 << 16) : (1 << 13);
+  const std::size_t N = io.full ? (1 << 16) : (1 << 13);
   const std::size_t M = 256, B = 16;
   bool ok = true;
 
   // --- Sweep 1: fault rate x omega ---------------------------------------
+  // Point grid: for each omega, one clean run (rate = nullopt) followed by
+  // the four faulty rates.  The grid order is also the table/metrics order.
+  struct Point {
+    std::uint64_t omega;
+    std::optional<double> rate;  // nullopt: no policy installed (clean)
+  };
+  const std::vector<std::uint64_t> omegas = {1, 4, 16};
+  const std::vector<double> rates = {0.0, 1e-4, 1e-3, 1e-2};
+  std::vector<Point> grid;
+  for (const std::uint64_t omega : omegas) {
+    grid.push_back({omega, std::nullopt});
+    for (const double rate : rates) grid.push_back({omega, rate});
+  }
+
+  std::vector<FaultRunResult> slots(grid.size());
+  replay(harness::run_sweep(grid.size(), io.sweep,
+                            [&](harness::PointContext& ctx) {
+                              const Point& pt = grid[ctx.index()];
+                              if (!pt.rate) {
+                                slots[ctx.index()] = run_sort(
+                                    N, M, B, pt.omega, nullptr, 42, ctx,
+                                    "R1 clean w=" + std::to_string(pt.omega));
+                                return;
+                              }
+                              FaultConfig fc;
+                              fc.seed = fault_seed;
+                              fc.read_fault_rate = *pt.rate;
+                              fc.silent_write_rate = *pt.rate / 2;
+                              fc.torn_write_rate = *pt.rate / 2;
+                              fc.max_retries = 64;
+                              slots[ctx.index()] = run_sort(
+                                  N, M, B, pt.omega, &fc, 42, ctx,
+                                  "R1 rate=" + util::fmt(*pt.rate, 6) +
+                                      " w=" + std::to_string(pt.omega));
+                            }),
+         nullptr, io.metrics);
+
   util::Table t({"rate", "omega", "Q_clean", "Q_faulty", "overhead",
                  "rd_flt", "wr_flt", "retries", "verified"});
-  for (const std::uint64_t omega : {1ull, 4ull, 16ull}) {
-    const FaultRunResult clean =
-        run_sort(N, M, B, omega, nullptr, 42, metrics,
-                 "R1 clean w=" + std::to_string(omega));
-    if (!clean.verified) ok = false;
-    for (const double rate : {0.0, 1e-4, 1e-3, 1e-2}) {
-      FaultConfig fc;
-      fc.seed = fault_seed;
-      fc.read_fault_rate = rate;
-      fc.silent_write_rate = rate / 2;
-      fc.torn_write_rate = rate / 2;
-      fc.max_retries = 64;
-      const FaultRunResult r =
-          run_sort(N, M, B, omega, &fc, 42, metrics,
-                   "R1 rate=" + util::fmt(rate, 6) +
-                       " w=" + std::to_string(omega));
-      if (!r.verified) {
-        std::cerr << "FAIL: unverified output at rate=" << rate
-                  << " omega=" << omega << "\n";
-        ok = false;
-      }
-      if (rate == 0.0 && (r.q != clean.q || !(r.io == clean.io))) {
-        std::cerr << "FAIL: zero-rate policy changed the cost: Q "
-                  << clean.q << " -> " << r.q
-                  << " (zero-overhead-when-off is broken)\n";
-        ok = false;
-      }
-      t.add_row({util::fmt(rate, 6), util::fmt(omega), util::fmt(clean.q),
-                 util::fmt(r.q), util::fmt_ratio(double(r.q), double(clean.q), 3),
-                 util::fmt(r.fs.read_faults),
-                 util::fmt(r.fs.silent_write_faults + r.fs.torn_write_faults),
-                 util::fmt(r.fs.read_retries + r.fs.write_retries),
-                 r.verified ? "yes" : "NO"});
+  const FaultRunResult* clean = nullptr;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Point& pt = grid[i];
+    const FaultRunResult& r = slots[i];
+    if (!pt.rate) {
+      clean = &r;
+      if (!r.verified) ok = false;
+      continue;
     }
+    if (!r.verified) {
+      std::cerr << "FAIL: unverified output at rate=" << *pt.rate
+                << " omega=" << pt.omega << "\n";
+      ok = false;
+    }
+    if (*pt.rate == 0.0 && (r.q != clean->q || !(r.io == clean->io))) {
+      std::cerr << "FAIL: zero-rate policy changed the cost: Q " << clean->q
+                << " -> " << r.q << " (zero-overhead-when-off is broken)\n";
+      ok = false;
+    }
+    t.add_row({util::fmt(*pt.rate, 6), util::fmt(pt.omega),
+               util::fmt(clean->q), util::fmt(r.q),
+               util::fmt_ratio(double(r.q), double(clean->q), 3),
+               util::fmt(r.fs.read_faults),
+               util::fmt(r.fs.silent_write_faults + r.fs.torn_write_faults),
+               util::fmt(r.fs.read_retries + r.fs.write_retries),
+               r.verified ? "yes" : "NO"});
   }
   emit(t,
        "Mergesort under injected faults, N=" + util::fmt(std::uint64_t(N)) +
            ", M=256, B=16 (overhead = Q_faulty/Q_clean):",
-       csv);
+       io.csv);
 
   // --- Sweep 2: endurance and the spare pool ------------------------------
   // A write-hammering loop on one array: how many rewrites of the same
@@ -128,41 +162,46 @@ int main(int argc, char** argv) {
   // migrations cost?  SparesExhausted is the expected graceful endpoint.
   util::Table t2({"endurance", "spares", "rewrites_survived", "remaps",
                   "retired", "Q"});
-  for (const std::uint64_t endurance : {4ull, 16ull}) {
-    for (const std::size_t spares : {std::size_t(2), std::size_t(8)}) {
-      Machine mach(make_config(M, B, 8));
-      FaultConfig fc;
-      fc.seed = fault_seed;
-      fc.endurance = endurance;
-      fc.spare_blocks = spares;
-      mach.install_faults(fc);
-      ExtArray<std::uint64_t> a(mach, 4 * B, "hammer");
-      a.unsafe_host_fill(std::vector<std::uint64_t>(4 * B, 0));
-      std::vector<std::uint64_t> payload(B);
-      std::uint64_t survived = 0;
-      try {
-        for (std::uint64_t round = 0;; ++round) {
-          for (std::size_t i = 0; i < B; ++i) payload[i] = round * B + i;
-          a.write_block(round % 4, std::span<const std::uint64_t>(payload));
-          ++survived;
-        }
-      } catch (const SparesExhausted&) {
-        // the device wore out — exactly the endpoint being measured
+  struct HammerPoint {
+    std::uint64_t endurance;
+    std::size_t spares;
+  };
+  std::vector<HammerPoint> hammer;
+  for (const std::uint64_t endurance : {4ull, 16ull})
+    for (const std::size_t spares : {std::size_t(2), std::size_t(8)})
+      hammer.push_back({endurance, spares});
+  sweep_table(io, hammer.size(), t2, [&](harness::PointContext& ctx) {
+    const auto [endurance, spares] = hammer[ctx.index()];
+    Machine mach(make_config(M, B, 8));
+    FaultConfig fc;
+    fc.seed = fault_seed;
+    fc.endurance = endurance;
+    fc.spare_blocks = spares;
+    mach.install_faults(fc);
+    ExtArray<std::uint64_t> a(mach, 4 * B, "hammer");
+    a.unsafe_host_fill(std::vector<std::uint64_t>(4 * B, 0));
+    std::vector<std::uint64_t> payload(B);
+    std::uint64_t survived = 0;
+    try {
+      for (std::uint64_t round = 0;; ++round) {
+        for (std::size_t i = 0; i < B; ++i) payload[i] = round * B + i;
+        a.write_block(round % 4, std::span<const std::uint64_t>(payload));
+        ++survived;
       }
-      const FaultStats& fs = mach.faults()->stats();
-      t2.add_row({util::fmt(endurance), util::fmt(std::uint64_t(spares)),
-                  util::fmt(survived), util::fmt(fs.remaps),
-                  util::fmt(fs.retired_blocks), util::fmt(mach.cost())});
-      emit_metrics(mach,
-                   "R1 hammer e=" + std::to_string(endurance) +
-                       " s=" + std::to_string(spares),
-                   metrics);
+    } catch (const SparesExhausted&) {
+      // the device wore out — exactly the endpoint being measured
     }
-  }
+    const FaultStats& fs = mach.faults()->stats();
+    ctx.row({util::fmt(endurance), util::fmt(std::uint64_t(spares)),
+             util::fmt(survived), util::fmt(fs.remaps),
+             util::fmt(fs.retired_blocks), util::fmt(mach.cost())});
+    ctx.metrics(mach, "R1 hammer e=" + std::to_string(endurance) +
+                          " s=" + std::to_string(spares));
+  });
   emit(t2,
        "Write-hammering until the spare pool is exhausted (4-block array, "
        "round-robin rewrites, omega=8):",
-       csv);
+       io.csv);
 
   if (!ok) {
     std::cerr << "bench_r1_faults: FAILED (unverified output or broken "

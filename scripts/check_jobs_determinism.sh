@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The harness's observable contract, checked end-to-end on real binaries:
+# every experiment's stdout, CSV, and metrics log must be BYTE-identical at
+# --jobs=1 and --jobs=4 (docs/MODEL.md section 12).  bench_m0_overhead is
+# excluded — it is the one bench whose tables legitimately contain wall-clock
+# timings — and bench_e10_ablation is excluded because its google-benchmark
+# half prints timings too.
+#
+# Usage: scripts/check_jobs_determinism.sh [build-dir] [bench ...]
+#   With no bench names, checks a representative fast subset.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+BENCHES=("$@")
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  BENCHES=(bench_e1_merge bench_e3_sort_shootout bench_e5_crossover
+           bench_e8_counting bench_r1_faults bench_c1_cache)
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+for name in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "SKIP $name (not built)"
+    continue
+  fi
+  for jobs in 1 4; do
+    "$bin" --jobs="$jobs" \
+           --csv="$WORK/$name.$jobs.csv" \
+           --metrics="$WORK/$name.$jobs.jsonl" \
+           > "$WORK/$name.$jobs.out"
+  done
+  ok=1
+  for ext in csv jsonl out; do
+    if ! cmp -s "$WORK/$name.1.$ext" "$WORK/$name.4.$ext"; then
+      echo "FAIL $name: $ext differs between --jobs=1 and --jobs=4"
+      diff "$WORK/$name.1.$ext" "$WORK/$name.4.$ext" | head -10 || true
+      ok=0
+      fail=1
+    fi
+  done
+  [[ $ok -eq 1 ]] && echo "OK   $name (stdout, csv, metrics byte-identical)"
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "jobs-determinism check FAILED"
+  exit 1
+fi
+echo "jobs-determinism check passed"

@@ -41,4 +41,21 @@ AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=7 \
 echo "=== docs consistency pass (scripts/check_docs.sh) ==="
 "$(dirname "$0")/check_docs.sh" "$BUILD_DIR"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection and docs passes)"
+# Fourth pass: ThreadSanitizer over the parallel sweep harness.  TSan cannot
+# combine with ASan, so this is a separate build; it runs the harness
+# determinism tests (worker pool + slot writes + exception funnel) and one
+# real multi-threaded bench sweep, the code paths with actual cross-thread
+# traffic.
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+echo "=== ThreadSanitizer pass (build dir $TSAN_BUILD_DIR) ==="
+cmake -B "$TSAN_BUILD_DIR" -S "$(dirname "$0")/.." \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAEM_SANITIZE_THREAD=ON
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target aem_tests bench_e3_sort_shootout
+TSAN_OPTIONS="halt_on_error=1" \
+  "$TSAN_BUILD_DIR/tests/aem_tests" --gtest_filter='ParallelSweep*'
+TSAN_OPTIONS="halt_on_error=1" \
+  "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
+echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
+
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, docs, and TSan passes)"

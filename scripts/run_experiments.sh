@@ -4,11 +4,17 @@
 # one JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
+#
+# Parallelism: AEM_JOBS=N runs each bench's sweep grid on N worker threads
+# (0 = one per hardware thread).  Outputs are byte-identical for every N —
+# the harness contract, enforced by scripts/check_jobs_determinism.sh — so
+# cranking AEM_JOBS only changes the wall clock.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-results}"
 FULL_FLAG="${3:-}"
+JOBS="${AEM_JOBS:-1}"
 
 mkdir -p "$OUT_DIR"
 
@@ -17,11 +23,13 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
   name="$(basename "$bench")"
   echo "=== running $name ==="
   if [[ "$name" == "bench_e10_ablation" ]]; then
-    # google-benchmark binary: no custom flags.
+    # google-benchmark binary: accepts (and ignores) --jobs, no other
+    # custom flags.
     "$bench" | tee "$OUT_DIR/$name.txt"
   else
     "$bench" --csv="$OUT_DIR/$name.csv" \
              --metrics="$OUT_DIR/$name.metrics.jsonl" \
+             --jobs="$JOBS" \
              $FULL_FLAG | tee "$OUT_DIR/$name.txt"
   fi
   echo

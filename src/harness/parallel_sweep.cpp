@@ -1,0 +1,89 @@
+#include "harness/parallel_sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "core/machine.hpp"
+
+namespace aem::harness {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // Two rounds over a state that folds in both words: the first round mixes
+  // the base seed, the second separates adjacent indices.  util::Rng then
+  // re-expands the result through its own SplitMix64 seeding, so even
+  // seed collisions across sweeps cannot correlate beyond the first word.
+  std::uint64_t state = base_seed ^ (index * 0xBF58476D1CE4E5B9ull);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void PointContext::metrics(const Machine& mach, std::string label) {
+  out_->snapshots.push_back(snapshot_metrics(mach, std::move(label)));
+}
+
+std::vector<PointResult> run_sweep(
+    std::size_t points, const SweepConfig& cfg,
+    const std::function<void(PointContext&)>& fn) {
+  std::vector<PointResult> results(points);
+  if (points == 0) return results;
+
+  // One slot per point for results and failures: workers touch only their
+  // claimed indices, so no cross-thread synchronization is needed beyond
+  // the claim counter and the joins.
+  std::vector<std::exception_ptr> errors(points);
+
+  auto run_point = [&](std::size_t i) {
+    PointContext ctx(i, derive_seed(cfg.base_seed, i), results[i]);
+    try {
+      fn(ctx);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  std::size_t workers = resolve_jobs(cfg.jobs);
+  if (workers > points) workers = points;
+
+  if (workers <= 1) {
+    // Reference serial execution: same claiming order, no pool.
+    for (std::size_t i = 0; i < points; ++i) run_point(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < points; i = next.fetch_add(1, std::memory_order_relaxed))
+        run_point(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic failure: the lowest-indexed error wins regardless of
+  // which worker hit it first.
+  for (std::size_t i = 0; i < points; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  return results;
+}
+
+}  // namespace aem::harness

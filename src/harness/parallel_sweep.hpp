@@ -1,0 +1,95 @@
+// Deterministic parallel sweep execution for the experiment binaries.
+//
+// Every experiment walks a (policy x omega x M x B x N) grid where each
+// point is an independent, deterministic `aem::Machine` simulation.  The
+// harness runs those points on a worker pool while keeping every observable
+// output BYTE-IDENTICAL to the serial run:
+//
+//  * each point gets its own util::Rng, seeded from the sweep's base seed
+//    and the point's index (derive_seed) — never from a shared generator,
+//    so results cannot depend on execution order;
+//  * workers never touch shared sinks; each point captures its table rows
+//    and metrics snapshots into a slot indexed by point, and the caller
+//    replays the slots in index order after the pool drains;
+//  * threads parallelize ACROSS simulated machines, never within one (see
+//    docs/MODEL.md section 12), so Q accounting is untouched.
+//
+// The contract every bench relies on: for any grid and any fn, the
+// returned vector of PointResults is identical for every jobs value,
+// including jobs = 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace aem::harness {
+
+/// SplitMix64-derived seed for sweep point `index` under `base_seed`.
+/// Mixes both words through two SplitMix64 rounds so adjacent indices give
+/// statistically unrelated xoshiro streams.  Stable across platforms and
+/// documented here because reseeding is part of each bench's output
+/// contract: results depend on (base seed, point index) only, never on
+/// iteration order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
+/// Resolves a requested worker count: 0 means "one per hardware thread"
+/// (at least 1); anything else is taken literally.
+std::size_t resolve_jobs(std::size_t requested);
+
+struct SweepConfig {
+  std::size_t jobs = 1;        ///< worker threads; 0 = hardware concurrency
+  std::uint64_t base_seed = 0; ///< per-point seeds derive from this
+};
+
+/// Everything one sweep point emitted, captured in its slot.  Plain data;
+/// the caller replays rows/snapshots in point order.
+struct PointResult {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<MetricsSnapshot> snapshots;
+};
+
+/// Handed to the point closure: the point's identity, its private RNG, and
+/// deferred emission into the point's slot.  NOT thread-safe across points
+/// (each point owns its context) — which is the point.
+class PointContext {
+ public:
+  PointContext(std::size_t index, std::uint64_t seed, PointResult& out)
+      : index_(index), seed_(seed), rng_(seed), out_(&out) {}
+
+  std::size_t index() const { return index_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// The point's private generator (seeded with derive_seed(base, index)).
+  util::Rng& rng() { return rng_; }
+
+  /// Captures one table row; replayed into the bound table in point order.
+  void row(std::vector<std::string> cells) {
+    out_->rows.push_back(std::move(cells));
+  }
+
+  /// Snapshots `mach` now; the caller serializes snapshots in point order.
+  void metrics(const Machine& mach, std::string label);
+
+ private:
+  std::size_t index_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  PointResult* out_;
+};
+
+/// Runs fn over points [0, points) on min(jobs, points) workers and returns
+/// the per-point results, indexed by point.  Exceptions thrown by fn are
+/// captured and the lowest-indexed one is rethrown here after all workers
+/// drain, so failures are deterministic too.  jobs == 1 runs inline on the
+/// calling thread (no pool), which is the reference serial execution.
+std::vector<PointResult> run_sweep(
+    std::size_t points, const SweepConfig& cfg,
+    const std::function<void(PointContext&)>& fn);
+
+}  // namespace aem::harness

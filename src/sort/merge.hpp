@@ -42,6 +42,7 @@
 #include "core/ext_array.hpp"
 #include "io/ext_pointer_array.hpp"
 #include "sort/budget.hpp"
+#include "sort/loser_tree.hpp"
 #include "sort/occ.hpp"
 #include "sort/sink.hpp"
 
@@ -91,6 +92,7 @@ class MergeJob {
   }
 
   void set_stats(MergeStats* stats) { stats_ = stats; }
+  void set_kernel(MergeKernel kernel) { kernel_ = kernel; }
 
  private:
   struct Active {
@@ -221,21 +223,53 @@ class MergeJob {
           std::max(stats_->max_active_runs, actives.size());
     }
 
-    // Phase C: classical m_eff-way merging from the active runs.
-    while (!actives.empty()) {
-      // Lazily drop runs whose last-loaded element fell out of OUT's range.
-      std::erase_if(actives, [&](const Active& a) {
-        return out.size() == budget_.out_batch &&
-               !occ_less_(a.last_loaded, *out.rbegin());
-      });
-      if (actives.empty()) break;
-      auto j = std::min_element(actives.begin(), actives.end(),
-                                [&](const Active& a, const Active& b) {
-                                  return occ_less_(a.last_loaded, b.last_loaded);
-                                });
-      j->last_loaded = read_into(j->run, j->next_block, out, blockbuf);
-      ++j->next_block;
-      if (j->next_block >= run_end_block(j->run)) actives.erase(j);
+    // Phase C: classical m_eff-way merging from the active runs.  Both
+    // kernels read the same blocks in the same order (asserted by the
+    // invariance tests): max(OUT) only shrinks as smaller occurrences
+    // arrive, so a run whose s_i ever falls out of OUT's range stays out —
+    // dropping it eagerly (scan kernel) and checking only the current
+    // minimum (loser tree) reject exactly the same reads, and when the
+    // MINIMUM s_i is out of range every active run is, ending the phase.
+    if (kernel_ == MergeKernel::kLoserTree) {
+      // Host-side selection state only: the tree mirrors the <= m_eff
+      // resident boundary elements actives_res already reserves, so the
+      // simulated footprint is unchanged (see loser_tree.hpp).
+      using Tree = LoserTree<Occ<T>, OccLess<T, Less>>;
+      Tree tree(actives.size(), occ_less_);
+      for (std::size_t i = 0; i < actives.size(); ++i)
+        tree.set_key(i, actives[i].last_loaded);
+      tree.rebuild();
+      for (std::size_t j = tree.winner(); j != Tree::npos; j = tree.winner()) {
+        Active& a = actives[j];
+        if (out.size() == budget_.out_batch &&
+            !occ_less_(a.last_loaded, *out.rbegin()))
+          break;  // the smallest s_i is out of range, so every s_i is
+        a.last_loaded = read_into(a.run, a.next_block, out, blockbuf);
+        ++a.next_block;
+        if (a.next_block >= run_end_block(a.run)) {
+          tree.set_exhausted(j);
+        } else {
+          tree.set_key(j, a.last_loaded);
+        }
+        tree.update(j);
+      }
+    } else {
+      while (!actives.empty()) {
+        // Lazily drop runs whose last-loaded element fell out of OUT's range.
+        std::erase_if(actives, [&](const Active& a) {
+          return out.size() == budget_.out_batch &&
+                 !occ_less_(a.last_loaded, *out.rbegin());
+        });
+        if (actives.empty()) break;
+        auto j = std::min_element(actives.begin(), actives.end(),
+                                  [&](const Active& a, const Active& b) {
+                                    return occ_less_(a.last_loaded,
+                                                     b.last_loaded);
+                                  });
+        j->last_loaded = read_into(j->run, j->next_block, out, blockbuf);
+        ++j->next_block;
+        if (j->next_block >= run_end_block(j->run)) actives.erase(j);
+      }
     }
 
     // Phase D: output the batch, advance the watermark, and advance b[i]
@@ -265,6 +299,7 @@ class MergeJob {
   CombineSink<T, std::function<bool(const T&, const T&)>, Combine> sink_;
   std::optional<Occ<T>> watermark_;
   MergeStats* stats_ = nullptr;
+  MergeKernel kernel_ = MergeKernel::kLoserTree;
 };
 
 }  // namespace sort_detail
@@ -276,14 +311,19 @@ class MergeJob {
 /// elements written (the total input length when not combining).
 ///
 /// Cost (Theorem 3.2, for d <= omega * m runs totalling N elements):
-/// O(omega(n + m)) reads and O(n + m) writes.
+/// O(omega(n + m)) reads and O(n + m) writes — for EITHER kernel; the
+/// kernel choice moves host CPU time only (loser tree: ceil(log2 k)
+/// comparisons per selection instead of the scan's O(k)), never a charged
+/// I/O, which tests/test_loser_tree.cpp asserts exactly.
 template <class T, class Less, class Combine = std::nullptr_t>
 std::size_t merge_runs(const ExtArray<T>& src, std::span<const RunBounds> runs,
                        ExtArray<T>& dst, std::size_t dst_begin, Less less,
-                       Combine combine = {}, MergeStats* stats = nullptr) {
+                       Combine combine = {}, MergeStats* stats = nullptr,
+                       MergeKernel kernel = MergeKernel::kLoserTree) {
   sort_detail::MergeJob<T, Less, Combine> job(src, runs, dst, dst_begin, less,
                                               combine);
   job.set_stats(stats);
+  job.set_kernel(kernel);
   return job.run();
 }
 

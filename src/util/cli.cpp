@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 namespace aem::util {
@@ -64,6 +65,19 @@ bool Cli::flag(const std::string& name) const {
   auto it = values_.find(name);
   if (it == values_.end()) return false;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::size_t Cli::jobs() const {
+  if (has("jobs")) return static_cast<std::size_t>(u64("jobs", 1));
+  if (const char* env = std::getenv("AEM_JOBS"); env != nullptr && *env != '\0') {
+    try {
+      return static_cast<std::size_t>(std::stoull(env));
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("AEM_JOBS expects an integer, got '") +
+                                  env + "'");
+    }
+  }
+  return 1;
 }
 
 std::vector<std::uint64_t> Cli::u64_list(

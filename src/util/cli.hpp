@@ -30,6 +30,12 @@ class Cli {
   bool has(const std::string& name) const;
   const std::string& program() const { return program_; }
 
+  /// Worker-thread count for sweep parallelism (see harness/parallel_sweep):
+  /// `--jobs=N` if given, else the AEM_JOBS environment variable, else 1.
+  /// 0 means "one worker per hardware thread".  Parallelism never changes
+  /// results (MODEL.md section 12), so 1 is always a safe default.
+  std::size_t jobs() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;

@@ -1,0 +1,265 @@
+// Unit tests for sort/loser_tree.hpp and the I/O-invariance property the
+// merge kernels promise: switching MergeKernel moves host comparisons only,
+// never a charged read or write.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "core/machine.hpp"
+#include "sort/budget.hpp"
+#include "sort/em_mergesort.hpp"
+#include "sort/loser_tree.hpp"
+#include "sort/merge.hpp"
+#include "util/rng.hpp"
+
+namespace aem {
+namespace {
+
+using Tree = LoserTree<std::uint64_t, std::less<std::uint64_t>>;
+
+Config cfg_of(std::size_t M, std::size_t B, std::uint64_t omega) {
+  Config cfg;
+  cfg.memory_elems = M;
+  cfg.block_elems = B;
+  cfg.write_cost = omega;
+  return cfg;
+}
+
+/// Drains the tree as a k-way merge over in-memory runs and returns the
+/// output sequence; the reference for every selection test.
+std::vector<std::uint64_t> drain(std::vector<std::vector<std::uint64_t>> runs) {
+  Tree tree(runs.size());
+  std::vector<std::size_t> pos(runs.size(), 0);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].empty()) {
+      tree.set_exhausted(i);
+    } else {
+      tree.set_key(i, runs[i][0]);
+    }
+  }
+  tree.rebuild();
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = tree.winner(); i != Tree::npos; i = tree.winner()) {
+    out.push_back(runs[i][pos[i]]);
+    ++pos[i];
+    if (pos[i] == runs[i].size()) {
+      tree.set_exhausted(i);
+    } else {
+      tree.set_key(i, runs[i][pos[i]]);
+    }
+    tree.update(i);
+  }
+  return out;
+}
+
+TEST(LoserTree, SingleContestant) {
+  auto out = drain({{3, 1, 4, 1, 5}});  // k = 1: passthrough, any order
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{3, 1, 4, 1, 5}));
+}
+
+TEST(LoserTree, EmptyAndZeroContestants) {
+  EXPECT_TRUE(drain({}).empty());
+  EXPECT_TRUE(drain({{}}).empty());
+  EXPECT_TRUE(drain({{}, {}, {}}).empty());
+}
+
+TEST(LoserTree, TwoContestants) {
+  auto out = drain({{1, 3, 5}, {2, 4, 6}});
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(LoserTree, NonPowerOfTwoContestants) {
+  // k = 5 pads to 8; the 3 padding leaves must never win.
+  auto out = drain({{10, 20}, {5, 25}, {1, 30}, {15}, {2, 3}});
+  std::vector<std::uint64_t> expect = {1, 2, 3, 5, 10, 15, 20, 25, 30};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(LoserTree, DuplicatesAcrossRunsAreStableByRunIndex) {
+  // Equal keys must drain in run-index order — exactly what a stable
+  // "first strictly-smallest head" scan produces.
+  Tree tree(3);
+  std::vector<std::vector<std::uint64_t>> runs = {{7, 7}, {7}, {7, 7}};
+  std::vector<std::size_t> pos(3, 0);
+  for (std::size_t i = 0; i < 3; ++i) tree.set_key(i, runs[i][0]);
+  tree.rebuild();
+  std::vector<std::size_t> order;
+  for (std::size_t i = tree.winner(); i != Tree::npos; i = tree.winner()) {
+    order.push_back(i);
+    ++pos[i];
+    if (pos[i] == runs[i].size()) {
+      tree.set_exhausted(i);
+    } else {
+      tree.set_key(i, runs[i][pos[i]]);
+    }
+    tree.update(i);
+  }
+  // Run 0's two 7s first, then run 1's, then run 2's.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 0, 1, 2, 2}));
+}
+
+TEST(LoserTree, ExhaustedRunRevivesOnRestage) {
+  // A refilled contestant (set_key after set_exhausted + update) rejoins.
+  Tree tree(2);
+  tree.set_key(0, 5);
+  tree.set_key(1, 9);
+  tree.rebuild();
+  EXPECT_EQ(tree.winner(), 0u);
+  tree.set_exhausted(0);
+  tree.update(0);
+  EXPECT_EQ(tree.winner(), 1u);
+  tree.set_key(0, 1);  // the "exhausted run refill" of a staged merge
+  tree.update(0);
+  EXPECT_EQ(tree.winner(), 0u);
+  EXPECT_EQ(tree.winner_key(), 1u);
+}
+
+TEST(LoserTree, MatchesSortAcrossShapes) {
+  util::Rng rng(99);
+  for (std::size_t k : {1u, 2u, 3u, 5u, 7u, 8u, 13u, 64u}) {
+    std::vector<std::vector<std::uint64_t>> runs(k);
+    std::vector<std::uint64_t> expect;
+    for (auto& r : runs) {
+      const std::size_t len = rng.next() % 17;  // includes empty runs
+      for (std::size_t j = 0; j < len; ++j) r.push_back(rng.next() % 50);
+      std::sort(r.begin(), r.end());
+      expect.insert(expect.end(), r.begin(), r.end());
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(drain(runs), expect) << "k=" << k;
+  }
+}
+
+// --- I/O invariance: the kernel choice never moves a charged I/O ----------
+
+struct KernelRun {
+  std::uint64_t reads, writes, cost;
+  std::vector<std::uint64_t> output;
+};
+
+KernelRun run_merge_runs(std::size_t k, std::size_t M, std::size_t B,
+                         std::uint64_t omega, MergeKernel kernel,
+                         std::uint64_t seed) {
+  Machine mach(cfg_of(M, B, omega));
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> host;
+  std::vector<RunBounds> runs;
+  const std::size_t run_len = 4 * B;
+  for (std::size_t r = 0; r < k; ++r) {
+    auto keys = util::random_keys(run_len, rng);
+    std::sort(keys.begin(), keys.end());
+    runs.push_back(RunBounds{host.size(), host.size() + run_len});
+    host.insert(host.end(), keys.begin(), keys.end());
+  }
+  ExtArray<std::uint64_t> in(mach, host.size(), "runs");
+  in.unsafe_host_fill(host);
+  ExtArray<std::uint64_t> out(mach, host.size(), "out");
+  mach.reset_stats();
+  merge_runs(in, std::span<const RunBounds>(runs), out, 0,
+             std::less<std::uint64_t>{}, std::nullptr_t{}, nullptr, kernel);
+  return {mach.stats().reads, mach.stats().writes, mach.cost(),
+          out.unsafe_host_view()};
+}
+
+TEST(MergeKernelInvariance, MergeRunsQExactlyUnchangedAcrossGrid) {
+  // Property: for every (k, B, omega) point, the loser-tree merge charges
+  // EXACTLY the reads, writes, and Q of the reference scan — and writes the
+  // same output.  Not "close": equal.
+  for (std::size_t k : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    for (std::size_t B : {8u, 16u}) {
+      for (std::uint64_t omega : {1u, 8u, 64u}) {
+        const std::size_t M = std::max<std::size_t>(16 * B, 4 * k * B);
+        const std::uint64_t seed = 1000 * k + 10 * B + omega;
+        const KernelRun scan =
+            run_merge_runs(k, M, B, omega, MergeKernel::kScanSelect, seed);
+        const KernelRun loser =
+            run_merge_runs(k, M, B, omega, MergeKernel::kLoserTree, seed);
+        EXPECT_EQ(scan.reads, loser.reads)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.writes, loser.writes)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.cost, loser.cost)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.output, loser.output)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+      }
+    }
+  }
+}
+
+KernelRun run_em_group(std::size_t k, std::size_t B, std::uint64_t omega,
+                       MergeKernel kernel, std::uint64_t seed) {
+  const std::size_t M = (k + 2) * B + 4 * k;
+  Machine mach(cfg_of(M, B, omega));
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> host;
+  std::vector<RunBounds> runs;
+  for (std::size_t r = 0; r < k; ++r) {
+    const std::size_t run_len = (1 + rng.next() % 4) * B;
+    auto keys = util::random_keys(run_len, rng);
+    std::sort(keys.begin(), keys.end());
+    runs.push_back(RunBounds{host.size(), host.size() + run_len});
+    host.insert(host.end(), keys.begin(), keys.end());
+  }
+  ExtArray<std::uint64_t> in(mach, host.size(), "runs");
+  in.unsafe_host_fill(host);
+  ExtArray<std::uint64_t> out(mach, host.size(), "out");
+  mach.reset_stats();
+  sort_detail::em_merge_group(in, std::span<const RunBounds>(runs), out, 0,
+                              std::less<std::uint64_t>{}, kernel);
+  return {mach.stats().reads, mach.stats().writes, mach.cost(),
+          out.unsafe_host_view()};
+}
+
+TEST(MergeKernelInvariance, EmMergeGroupQExactlyUnchangedAcrossGrid) {
+  for (std::size_t k : {1u, 2u, 3u, 6u, 9u, 16u}) {
+    for (std::size_t B : {8u, 16u}) {
+      for (std::uint64_t omega : {1u, 16u}) {
+        const std::uint64_t seed = 2000 * k + 10 * B + omega;
+        const KernelRun scan =
+            run_em_group(k, B, omega, MergeKernel::kScanSelect, seed);
+        const KernelRun loser =
+            run_em_group(k, B, omega, MergeKernel::kLoserTree, seed);
+        EXPECT_EQ(scan.reads, loser.reads)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.writes, loser.writes)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.cost, loser.cost)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+        EXPECT_EQ(scan.output, loser.output)
+            << "k=" << k << " B=" << B << " omega=" << omega;
+      }
+    }
+  }
+}
+
+TEST(MergeKernelInvariance, FullSortsAgreeAcrossKernels) {
+  // End-to-end: both sorts produce sorted output with the default
+  // (loser-tree) kernel — the kernels are exercised through their real
+  // call sites, not just the unit harness above.
+  Machine mach(cfg_of(256, 16, 8));
+  util::Rng rng(7);
+  const std::size_t N = 1 << 12;
+  auto keys = util::random_keys(N, rng);
+  ExtArray<std::uint64_t> in(mach, N, "in");
+  in.unsafe_host_fill(keys);
+  ExtArray<std::uint64_t> out(mach, N, "out");
+  aem_merge_sort(in, out);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(out.unsafe_host_view(), expect);
+
+  Machine mach2(cfg_of(256, 16, 8));
+  ExtArray<std::uint64_t> in2(mach2, N, "in");
+  in2.unsafe_host_fill(keys);
+  ExtArray<std::uint64_t> out2(mach2, N, "out");
+  em_merge_sort(in2, out2);
+  EXPECT_EQ(out2.unsafe_host_view(), expect);
+}
+
+}  // namespace
+}  // namespace aem
