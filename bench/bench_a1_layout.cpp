@@ -53,7 +53,7 @@ struct Point {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 11);
 
@@ -95,4 +95,10 @@ int main(int argc, char** argv) {
          "shows how much of the column-major penalty even the best\n"
          "column-major program cannot avoid — the gap Theorem 5.1 bounds.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -87,7 +87,7 @@ void run_case(Algo algo, std::size_t N, std::size_t M, std::size_t B,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 12);
 
@@ -113,4 +113,10 @@ int main(int argc, char** argv) {
          "b[i] pointer blocks and the PQ's cascade levels are the wear hot\n"
          "spots a device-level wear leveler would have to absorb.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -119,7 +119,7 @@ CaseResult run_case(const Grid& g, const Cell& c,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 11);
   util::Rng rng(io.seed);
@@ -264,4 +264,10 @@ int main(int argc, char** argv) {
   std::cout << "\nPASS criteria: output invariance; omega=1 LRU "
                "degeneration; omega>=16 clean-first wins on scatters.\n";
   return ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

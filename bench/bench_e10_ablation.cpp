@@ -120,7 +120,7 @@ BENCHMARK(bm_sort)->Arg(1 << 12)->Arg(1 << 14);
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   omega_one_table();
   // E10's sweep is google-benchmark's, not the harness's: accept and drop
   // the fleet-wide --jobs flag (run_experiments.sh passes it to every
@@ -137,4 +137,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -66,7 +66,7 @@ void run_case(const Row& r, harness::PointContext& ctx) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 1);
 
@@ -164,4 +164,10 @@ int main(int argc, char** argv) {
                "flat in N, and flat across omega = B; max_active <= m_eff\n"
                "in every Lemma 3.1 row.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -55,7 +55,7 @@ void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 2);
 
@@ -99,4 +99,10 @@ int main(int argc, char** argv) {
   std::cout << "PASS criterion: Q/bound bounded and flat in N; writes a\n"
                "factor ~omega below reads throughout.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -90,7 +90,7 @@ void shootout_row(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 3);
 
@@ -128,4 +128,10 @@ int main(int argc, char** argv) {
          "predicted penalty's trend; the aware sort never loses badly and\n"
          "wins decisively for omega >> m.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

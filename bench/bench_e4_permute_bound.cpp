@@ -69,7 +69,7 @@ void run_case(const Point& pt, harness::PointContext& ctx) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 4);
 
@@ -105,4 +105,10 @@ int main(int argc, char** argv) {
   std::cout << "PASS criterion: best/LB bounded (tightness); every row has\n"
                "measured cost >= the lower bound (soundness).\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

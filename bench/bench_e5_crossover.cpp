@@ -60,7 +60,7 @@ Outcome measure(std::size_t N, std::size_t M, std::size_t B, std::uint64_t w,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 5);
 
@@ -138,4 +138,10 @@ int main(int argc, char** argv) {
   std::cout << "PASS criterion: measured winners flip exactly once per\n"
                "sweep, within one grid step of the predicted flip.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -86,7 +86,7 @@ void run_case(const Point& pt, std::size_t N, std::size_t M, std::size_t B,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 6);
 
@@ -110,4 +110,10 @@ int main(int argc, char** argv) {
   std::cout << "PASS criterion: factor <= ~3 everywhere (the Lemma 4.1\n"
                "constant), valid = yes in every row.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

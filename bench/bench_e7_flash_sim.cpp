@@ -63,7 +63,7 @@ void run_case(const Point& pt, harness::PointContext& ctx) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 7);
 
@@ -93,4 +93,10 @@ int main(int argc, char** argv) {
                "destroyed = 0 (atom conservation), and flash_volume >=\n"
                "flash_LB (the classical bound the reduction transfers).\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -51,7 +51,7 @@ void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 8);
 
@@ -134,4 +134,10 @@ int main(int argc, char** argv) {
                "sound = yes in every mechanized row (the counting bound\n"
                "never exceeds the true optimum).\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -86,7 +86,7 @@ void sweep_points(const BenchIo& io, const std::vector<Point>& grid,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 9);
 
@@ -133,4 +133,10 @@ int main(int argc, char** argv) {
   std::cout << "PASS criterion: best/LB bounded; winner flips from sort to\n"
                "naive as omega grows; every measured cost >= the bound.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

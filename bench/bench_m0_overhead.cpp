@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/sharding.hpp"
 #include "sort/em_mergesort.hpp"
 #include "sort/mergesort.hpp"
 
@@ -134,7 +135,7 @@ void io_mix(M& mach, std::uint32_t array, std::uint64_t ops) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 0);
   const std::string& csv = io.csv;
@@ -205,6 +206,22 @@ int main(int argc, char** argv) {
               io_mix(mach, a, ops);
               keep(mach.stats().reads);
             }, batch));
+  }
+
+  {
+    // The sharded facade's hot-path price: the same mix through a D=4
+    // ShardedMachine is one virtual dispatch plus one routed device charge
+    // per I/O.
+    ShardConfig sc;
+    sc.frontend = cfg;
+    sc.devices.assign(4, cfg);
+    ShardedMachine mach(sc);
+    const std::uint32_t a = mach.register_array("hot");
+    add_row("sharded facade (D=4, round-robin)",
+            measure([&](std::uint64_t ops) {
+              io_mix(mach, a, ops);
+              keep(mach.stats().reads);
+            }, batch / 2));
   }
 
   double phased_mops = 0.0;
@@ -343,6 +360,66 @@ int main(int argc, char** argv) {
                  "without a capacity-0 cache config\n\n";
   }
 
+  // Sharding degeneration guard: a ShardedMachine with ONE device whose
+  // Config equals the frontend's must be byte-identical to a plain Machine
+  // running the same program — counters, cost, trace op sequence, and the
+  // full metrics JSON once the snapshot's sharding section (the one part
+  // that legitimately differs) is cleared on both sides.  The single device
+  // must additionally mirror the facade's counters exactly (amplification 1,
+  // identity routing) — MODEL.md section 13's D=1 contract.
+  {
+    auto drive = [](Machine& mach) {
+      auto phase = mach.phase("shard-guard");
+      ExtArray<std::uint64_t> arr(mach, 1024, "hot");
+      Buffer<std::uint64_t> buf(mach, mach.B());
+      const std::uint64_t blocks = arr.blocks();
+      for (std::uint64_t i = 0; i < 4 * blocks; ++i) {
+        const std::uint64_t bi = (i * 7) % blocks;
+        arr.read_block(bi, buf.span());
+        buf[0] = i;
+        arr.write_block(bi, std::span<const std::uint64_t>(
+                                buf.data(), arr.block_elems(bi)));
+      }
+    };
+    Machine plain(cfg);
+    plain.enable_trace();
+    drive(plain);
+
+    ShardConfig sc;
+    sc.frontend = cfg;
+    sc.devices = {cfg};
+    ShardedMachine sharded(sc);
+    sharded.enable_trace();
+    drive(sharded);
+
+    bool ok = plain.stats() == sharded.stats() &&
+              plain.cost() == sharded.cost() &&
+              sharded.device(0).stats() == plain.stats() &&
+              sharded.device(0).cost() == plain.cost();
+    const auto& pa = plain.trace()->ops();
+    const auto& sa = sharded.trace()->ops();
+    ok = ok && pa.size() == sa.size();
+    for (std::size_t i = 0; ok && i < pa.size(); ++i)
+      ok = pa[i].kind == sa[i].kind && pa[i].array == sa[i].array &&
+           pa[i].block == sa[i].block;
+    MetricsSnapshot mp = snapshot_metrics(plain, "shard-guard");
+    MetricsSnapshot ms = snapshot_metrics(sharded, "shard-guard");
+    mp.sharding = ShardingMetrics{};
+    ms.sharding = ShardingMetrics{};
+    ok = ok && to_json(mp) == to_json(ms);
+    if (!ok) {
+      std::cerr << "FAIL: D=1 ShardedMachine diverged from the plain machine "
+                   "(reads " << plain.stats().reads << " vs "
+                << sharded.stats().reads << ", cost " << plain.cost()
+                << " vs " << sharded.cost() << ", trace ops " << pa.size()
+                << " vs " << sa.size() << ")\n";
+      return 1;
+    }
+    std::cout << "sharding degeneration guard: D=1 ShardedMachine "
+                 "byte-identical to the plain machine (counters, trace, "
+                 "metrics)\n\n";
+  }
+
   // --- Merge-kernel speedup: loser tree vs the reference O(k) scan -------
   // The same merge (same runs, same machine, byte-identical I/O charge
   // sequence — tests/test_loser_tree.cpp proves Q equality) timed with both
@@ -460,4 +537,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

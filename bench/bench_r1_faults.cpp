@@ -71,7 +71,7 @@ FaultRunResult run_sort(std::size_t N, std::size_t M, std::size_t B,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const BenchIo io = bench_io(cli, 2017);
   const std::uint64_t fault_seed = io.seed;
@@ -210,4 +210,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "all outputs verified; zero-rate Q identical to no-policy Q\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

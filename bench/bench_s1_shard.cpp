@@ -1,0 +1,398 @@
+// S1 — sharded multi-device machine: write-cost scaling and wear balance
+// when one logical (M,B,omega)-AEM frontend stripes its blocks across D
+// independent asymmetric devices (core/sharding.hpp, MODEL.md section 13).
+//
+// Four sections:
+//
+//  * uniform sweep   — workload {scatter, sort} x placement {round-robin,
+//                      range} x D {1,2,4,8} x omega {1,16}, every cell on
+//                      its own ShardedMachine through the parallel
+//                      harness.  The frontend cost is the paper's Q; the
+//                      device columns show where it lands.  The scatter
+//                      workload's writes are block-distributed, so
+//                      round-robin balances them (spread -> 1); the §3
+//                      mergesort at omega=1 concentrates ~1/3 of its
+//                      writes on ONE pointer block (the A2 wear skew), and
+//                      no placement can spread a single hot block — the
+//                      sweep shows both regimes side by side.
+//  * hot-prefix      — a synthetic update loop hammering the first K
+//                      logical blocks: round-robin spreads the hot writes
+//                      across all D devices (wear spread ~1) while range
+//                      placement concentrates them on the chunk owners
+//                      (spread = 2 at D=4, chunk = K/2) — the wear
+//                      argument for striping.
+//  * heterogeneous   — D=4 devices with omega {1,4,16,64} under one
+//                      frontend: per-device cost rows showing how the same
+//                      balanced traffic prices out across unequal devices.
+//  * cache           — a frontend cache over D devices: hits never reach
+//                      any device, so counters and output are D-invariant.
+//
+// PASS criteria (hard guards, exit 1 on violation):
+//  * facade invariance — every cell's frontend counters and output equal
+//    the plain-Machine baseline at the same (workload, omega): D and
+//    placement may change where cost LANDS, never the algorithm's Q;
+//  * device conservation — per-cell, summed device transfers equal the
+//    facade's (uniform devices, amplification 1);
+//  * round-robin wear spread <= 1.25 on every scatter cell and on sort at
+//    omega = 16 (block-distributed writes; the omega=1 sort rows document
+//    the single-hot-block exception);
+//  * hot-prefix: round-robin spread <= 1.25, range spread >= 1.9 at D=4;
+//  * heterogeneous: the omega=64 device's cost dominates under balanced
+//    round-robin traffic;
+//  * cache integration — with a frontend cache installed, facade counters,
+//    device transfers, and output are identical at D=1 and D=4.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sharding.hpp"
+#include "permute/permutation.hpp"
+#include "permute/scatter.hpp"
+#include "sort/mergesort.hpp"
+
+namespace {
+
+using namespace aem;
+using namespace aem::bench;
+
+constexpr std::size_t kM = 1024;
+constexpr std::size_t kB = 16;
+constexpr std::size_t kChunk = 8;  // range-placement chunk (logical blocks)
+
+enum class Workload { kScatter, kSort };
+
+const char* name_of(Workload w) {
+  return w == Workload::kScatter ? "scatter" : "sort";
+}
+
+struct Cell {
+  Workload workload;
+  Placement placement;
+  std::size_t devices;
+  std::uint64_t omega;
+};
+
+struct CellResult {
+  IoStats facade_io;
+  std::uint64_t facade_q = 0;
+  IoStats devices_io;
+  std::uint64_t devices_q = 0;
+  double spread = 1.0;
+  std::uint64_t dev_writes_min = 0;
+  std::uint64_t dev_writes_max = 0;
+  std::vector<std::uint64_t> output;  // for the facade-invariance guard
+};
+
+ShardConfig make_shard(std::size_t devices, Placement placement,
+                       std::uint64_t omega) {
+  ShardConfig sc;
+  sc.frontend = make_config(kM, kB, omega);
+  sc.devices.assign(devices, make_config(kM, kB, omega));
+  sc.placement = placement;
+  sc.range_chunk_blocks = kChunk;
+  return sc;
+}
+
+void fill_device_columns(const ShardedMachine& mach, CellResult& r) {
+  r.devices_io = mach.devices_stats();
+  r.devices_q = mach.devices_cost();
+  r.spread = mach.wear_spread();
+  r.dev_writes_min = ~0ull;
+  r.dev_writes_max = 0;
+  for (std::size_t d = 0; d < mach.device_count(); ++d) {
+    const std::uint64_t w = mach.device(d).stats().writes;
+    r.dev_writes_min = std::min(r.dev_writes_min, w);
+    r.dev_writes_max = std::max(r.dev_writes_max, w);
+  }
+}
+
+struct Inputs {
+  std::vector<std::uint64_t> keys;
+  perm::Perm dest;
+};
+
+void run_workload(Machine& mach, Workload w, const Inputs& g,
+                  std::vector<std::uint64_t>& output) {
+  ExtArray<std::uint64_t> in(mach, g.keys.size(), "in");
+  in.unsafe_host_fill(g.keys);
+  ExtArray<std::uint64_t> out(mach, g.keys.size(), "out");
+  mach.reset_stats();
+  switch (w) {
+    case Workload::kScatter:
+      scatter_permute(in, std::span<const std::uint64_t>(g.dest), out);
+      break;
+    case Workload::kSort:
+      aem_merge_sort(in, out);
+      break;
+  }
+  mach.flush_cache();
+  output = out.unsafe_host_view();
+}
+
+CellResult run_cell(const Inputs& g, const Cell& c,
+                    harness::PointContext& ctx) {
+  ShardedMachine mach(make_shard(c.devices, c.placement, c.omega));
+  CellResult r;
+  run_workload(mach, c.workload, g, r.output);
+  r.facade_io = mach.stats();
+  r.facade_q = mach.cost();
+  fill_device_columns(mach, r);
+  ctx.metrics(mach, std::string("S1 ") + name_of(c.workload) +
+                        " placement=" + to_string(c.placement) +
+                        " D=" + std::to_string(c.devices) +
+                        " omega=" + std::to_string(c.omega));
+  return r;
+}
+
+/// The synthetic hot-prefix update loop: rewrite the first `hot` logical
+/// blocks `rounds` times each.  Pure writes, no RNG — the wear contrast
+/// between placements is exact.
+void hot_prefix(Machine& mach, std::size_t blocks, std::size_t hot,
+                std::size_t rounds) {
+  ExtArray<std::uint64_t> arr(mach, blocks * kB, "hot");
+  Buffer<std::uint64_t> buf(mach, mach.B());
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t b = 0; b < hot; ++b) {
+      buf[0] = r * hot + b;
+      arr.write_block(b, std::span<const std::uint64_t>(
+                             buf.data(), arr.block_elems(b)));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Cli cli(argc, argv);
+  const BenchIo io = bench_io(cli, 13);
+  util::Rng rng(io.seed);
+
+  banner("S1",
+         "sharded multi-device machine: placement x D x omega — frontend Q "
+         "invariant, device cost and wear by placement");
+
+  const std::size_t N = io.full ? (1u << 15) : (1u << 13);
+  Inputs g;
+  g.keys = util::random_keys(N, rng);
+  g.dest = perm::random(N, rng);
+
+  const Workload workloads[] = {Workload::kScatter, Workload::kSort};
+  const Placement placements[] = {Placement::kRoundRobin, Placement::kRange};
+  const std::size_t device_counts[] = {1, 2, 4, 8};
+  const std::uint64_t omegas[] = {1, 16};
+
+  std::vector<Cell> cells;
+  for (Workload w : workloads)
+    for (Placement p : placements)
+      for (std::size_t d : device_counts)
+        for (std::uint64_t omega : omegas) cells.push_back({w, p, d, omega});
+
+  std::vector<CellResult> slots(cells.size());
+  replay(harness::run_sweep(cells.size(), io.sweep,
+                            [&](harness::PointContext& ctx) {
+                              slots[ctx.index()] =
+                                  run_cell(g, cells[ctx.index()], ctx);
+                            }),
+         nullptr, io.metrics);
+
+  // Plain-machine baselines, one per (workload, omega): the facade of EVERY
+  // cell must reproduce these counters and this output exactly.
+  std::map<std::pair<int, std::uint64_t>, CellResult> baseline;
+  for (Workload w : workloads) {
+    for (std::uint64_t omega : omegas) {
+      Machine mach(make_config(kM, kB, omega));
+      CellResult b;
+      run_workload(mach, w, g, b.output);
+      b.facade_io = mach.stats();
+      b.facade_q = mach.cost();
+      baseline.emplace(std::pair<int, std::uint64_t>(static_cast<int>(w),
+                                                     omega),
+                       std::move(b));
+    }
+  }
+
+  bool ok = true;
+  for (Workload w : workloads) {
+    util::Table t({"workload", "placement", "D", "omega", "Q_facade",
+                   "Q_devices", "wear_spread", "dev_writes_min",
+                   "dev_writes_max"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      if (c.workload != w) continue;
+      const CellResult& r = slots[i];
+      const CellResult& base =
+          baseline.at({static_cast<int>(c.workload), c.omega});
+      t.add_row({name_of(c.workload), to_string(c.placement),
+                 util::fmt(std::uint64_t(c.devices)), util::fmt(c.omega),
+                 util::fmt(r.facade_q), util::fmt(r.devices_q),
+                 util::fmt(r.spread, 3), util::fmt(r.dev_writes_min),
+                 util::fmt(r.dev_writes_max)});
+
+      if (r.facade_q != base.facade_q || !(r.facade_io == base.facade_io) ||
+          r.output != base.output) {
+        std::cerr << "FAIL: " << name_of(c.workload) << " "
+                  << to_string(c.placement) << " D=" << c.devices
+                  << " omega=" << c.omega << ": facade diverged from the "
+                  << "plain machine (Q " << r.facade_q << " vs "
+                  << base.facade_q << ")\n";
+        ok = false;
+      }
+      if (!(r.devices_io == r.facade_io) || r.devices_q != r.facade_q) {
+        std::cerr << "FAIL: " << name_of(c.workload) << " "
+                  << to_string(c.placement) << " D=" << c.devices
+                  << " omega=" << c.omega << ": device transfers not "
+                  << "conserved (devices Q " << r.devices_q
+                  << " vs facade Q " << r.facade_q << ")\n";
+        ok = false;
+      }
+      // Round-robin must balance block-distributed writes.  The sort rows
+      // at omega=1 are the documented exception: the §3 merge concentrates
+      // ~1/3 of its writes on one pointer block, and striping spreads
+      // BLOCKS, not writes within a block.
+      const bool distributed =
+          c.workload == Workload::kScatter ||
+          (c.workload == Workload::kSort && c.omega >= 16);
+      if (c.placement == Placement::kRoundRobin && distributed &&
+          r.spread > 1.25) {
+        std::cerr << "FAIL: " << name_of(c.workload) << " round-robin D="
+                  << c.devices << " omega=" << c.omega << ": wear spread "
+                  << util::fmt(r.spread, 3) << " above the 1.25 ceiling\n";
+        ok = false;
+      }
+    }
+    emit(t, std::string("S1 uniform sweep, ") + name_of(w) + " (N=" +
+                util::fmt(std::uint64_t(N)) +
+                "): frontend Q vs device placement:",
+         io.csv);
+  }
+  if (ok)
+    std::cout << "facade-invariance guard: every cell matched the plain "
+                 "machine's counters and output; device transfers conserved; "
+                 "round-robin wear spread <= 1.25 on block-distributed "
+                 "writes\n\n";
+
+  // --- hot-prefix wear contrast ------------------------------------------
+  {
+    const std::size_t blocks = 64, hot = 16, rounds = 64;
+    util::Table ht({"placement", "D", "writes", "wear_spread",
+                    "dev_writes_min", "dev_writes_max"});
+    std::map<int, double> spread_of;
+    for (Placement p : placements) {
+      ShardedMachine mach(make_shard(4, p, 16));
+      mach.reset_stats();
+      hot_prefix(mach, blocks, hot, rounds);
+      CellResult r;
+      fill_device_columns(mach, r);
+      spread_of[static_cast<int>(p)] = r.spread;
+      ht.add_row({to_string(p), "4", util::fmt(mach.stats().writes),
+                  util::fmt(r.spread, 3), util::fmt(r.dev_writes_min),
+                  util::fmt(r.dev_writes_max)});
+      emit_metrics(mach, std::string("S1 hot-prefix placement=") +
+                             to_string(p) + " D=4 omega=16",
+                   io.metrics);
+    }
+    emit(ht, "S1 hot-prefix (first " + util::fmt(std::uint64_t(hot)) +
+                 " of " + util::fmt(std::uint64_t(blocks)) +
+                 " blocks rewritten x" + util::fmt(std::uint64_t(rounds)) +
+                 "): wear by placement:",
+         io.csv);
+    const double rr = spread_of.at(static_cast<int>(Placement::kRoundRobin));
+    const double rg = spread_of.at(static_cast<int>(Placement::kRange));
+    if (rr > 1.25) {
+      std::cerr << "FAIL: hot-prefix round-robin wear spread "
+                << util::fmt(rr, 3) << " above the 1.25 ceiling\n";
+      ok = false;
+    }
+    if (rg < 1.9) {
+      std::cerr << "FAIL: hot-prefix range wear spread " << util::fmt(rg, 3)
+                << " below 1.9 — the placement contrast vanished\n";
+      ok = false;
+    }
+    if (ok)
+      std::cout << "hot-prefix guard: round-robin spreads hot writes "
+                   "(spread " << util::fmt(rr, 3) << "), range concentrates "
+                   "them (spread " << util::fmt(rg, 3) << ")\n\n";
+  }
+
+  // --- heterogeneous devices ---------------------------------------------
+  {
+    ShardConfig sc = make_shard(4, Placement::kRoundRobin, 16);
+    const std::uint64_t dev_omegas[] = {1, 4, 16, 64};
+    for (std::size_t d = 0; d < 4; ++d)
+      sc.devices[d].write_cost = dev_omegas[d];
+    ShardedMachine mach(sc);
+    std::vector<std::uint64_t> output;
+    run_workload(mach, Workload::kSort, g, output);
+
+    util::Table dt({"device", "omega", "reads", "writes", "cost",
+                    "cost_share"});
+    const double total = static_cast<double>(mach.devices_cost());
+    std::uint64_t max_omega_cost = 0, other_max_cost = 0;
+    for (std::size_t d = 0; d < mach.device_count(); ++d) {
+      const Machine& dev = mach.device(d);
+      dt.add_row({"dev" + std::to_string(d), util::fmt(dev.omega()),
+                  util::fmt(dev.stats().reads), util::fmt(dev.stats().writes),
+                  util::fmt(dev.cost()),
+                  util::fmt(static_cast<double>(dev.cost()) / total, 3)});
+      if (dev.omega() == 64) {
+        max_omega_cost = dev.cost();
+      } else {
+        other_max_cost = std::max(other_max_cost, dev.cost());
+      }
+    }
+    emit(dt, "S1 heterogeneous array (round-robin, D=4, device omega "
+             "1/4/16/64, mergesort): per-device cost:",
+         io.csv);
+    emit_metrics(mach, "S1 heterogeneous D=4 omega=1,4,16,64", io.metrics);
+    if (max_omega_cost <= other_max_cost) {
+      std::cerr << "FAIL: heterogeneous array: the omega=64 device's cost "
+                << max_omega_cost << " does not dominate (max other "
+                << other_max_cost << ") despite balanced traffic\n";
+      ok = false;
+    }
+  }
+
+  // --- cache integration: hits never reach a device ----------------------
+  {
+    auto cached = [&](std::size_t devices) {
+      ShardConfig sc = make_shard(devices, Placement::kRoundRobin, 16);
+      sc.frontend.cache.capacity_blocks = 64;
+      sc.frontend.cache.policy = CachePolicy::kCleanFirst;
+      ShardedMachine mach(sc);
+      CellResult r;
+      run_workload(mach, Workload::kSort, g, r.output);
+      r.facade_io = mach.stats();
+      r.facade_q = mach.cost();
+      fill_device_columns(mach, r);
+      return r;
+    };
+    const CellResult one = cached(1);
+    const CellResult four = cached(4);
+    if (!(one.facade_io == four.facade_io) || one.facade_q != four.facade_q ||
+        one.output != four.output || !(one.devices_io == four.devices_io)) {
+      std::cerr << "FAIL: cached facade diverged between D=1 and D=4 "
+                << "(Q " << one.facade_q << " vs " << four.facade_q << ")\n";
+      ok = false;
+    } else {
+      std::cout << "cache-integration guard: frontend cache + sharding give "
+                   "identical counters and output at D=1 and D=4 (Q = "
+                << one.facade_q << ")\n";
+    }
+  }
+
+  std::cout << "\nPASS criteria: facade invariance across D and placement; "
+               "device conservation; round-robin wear spread <= 1.25 on "
+               "block-distributed writes; hot-prefix placement contrast; "
+               "heterogeneous cost dominance; cache integration.\n";
+  return ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

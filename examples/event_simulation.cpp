@@ -37,7 +37,7 @@ std::uint64_t event_job(std::uint64_t e) { return e & (kKindBit - 1); }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace aem;
   util::Cli cli(argc, argv);
   const std::uint64_t jobs = cli.u64("jobs", 20000);
@@ -113,4 +113,10 @@ int main(int argc, char** argv) {
             << "   an omega-oblivious in-place heap would rewrite O(log N)\n"
             << "   blocks per operation instead)\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

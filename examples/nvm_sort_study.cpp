@@ -52,7 +52,7 @@ std::uint64_t run_one(const char* which, const std::vector<std::uint64_t>& keys,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const std::size_t N = cli.u64("n", 1 << 15);
   const std::size_t M = cli.u64("memory", 64);
@@ -101,4 +101,10 @@ int main(int argc, char** argv) {
          "the core design rule for NVM algorithms, and the paper's Section 1\n"
          "motivation.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

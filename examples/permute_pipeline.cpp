@@ -22,7 +22,7 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace aem;
   util::Cli cli(argc, argv);
   const std::size_t N = cli.u64("n", 4096);
@@ -121,4 +121,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "\npermutation verified.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

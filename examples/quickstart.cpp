@@ -21,7 +21,7 @@
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace aem;
   util::Cli cli(argc, argv);
   const std::size_t N = cli.u64("n", 1 << 16);
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     std::cout << "  " << phase << ": " << to_string(stats) << "\n";
 
   // Machine-readable form of everything above: one JSON snapshot in the
-  // aem.machine.metrics/v3 schema (same as the bench --metrics output).
+  // aem.machine.metrics/v4 schema (same as the bench --metrics output).
   if (const std::string path = cli.str("metrics", ""); !path.empty()) {
     std::ofstream os(path);
     write_json(os, snapshot_metrics(mach, "quickstart"));
@@ -173,4 +173,10 @@ int main(int argc, char** argv) {
   std::cout << "cached output identical to uncached output — the pool may "
                "only change Q, never results.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -80,7 +80,7 @@ void study(const char* name, const Conformation& conf, S s,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   const std::uint64_t N = cli.u64("n", 4096);
   const std::uint64_t delta = cli.u64("delta", 4);
@@ -106,4 +106,10 @@ int main(int argc, char** argv) {
          "The sorting-based program wins while omega is moderate; the\n"
          "direct gather takes over once writes dominate everything.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  // CLI/env parse errors (and any other unhandled failure) exit with a
+  // one-line diagnostic instead of an uncaught-exception abort.
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -35,6 +35,17 @@ UBSAN_OPTIONS="print_stacktrace=1" \
 AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=7 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Sharding pass: bench_s1_shard exercises the ShardedMachine fan-out
+# (per-device Machine lifetimes, amplified native transfers, wear vectors,
+# metrics aggregation) far harder than the unit tests; its internal guards
+# (facade invariance, device conservation, wear spread) double as asserts
+# under the sanitizers.
+echo "=== sharding pass (bench_s1_shard under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_s1_shard" --jobs=2 > /dev/null
+echo "bench_s1_shard clean under ASan+UBSan"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.
@@ -58,4 +69,4 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
 echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, docs, and TSan passes)"
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, docs, and TSan passes)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1) and collects
-# CSVs plus machine-metrics JSON snapshots (schema aem.machine.metrics/v3,
-# one JSON object per line in $OUT_DIR/<bench>.metrics.jsonl).
+# Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1) and
+# collects CSVs plus machine-metrics JSON snapshots (schema
+# aem.machine.metrics/v4, one JSON object per line in
+# $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
 #
@@ -50,13 +51,18 @@ CACHE_KEYS = {"enabled", "policy", "capacity_blocks", "clean_window",
               "read_hits", "read_misses", "write_hits", "write_misses",
               "evictions_clean", "evictions_dirty", "write_backs", "flushes",
               "invalidated_dirty", "resident", "resident_dirty"}
+SHARD_KEYS = {"enabled", "placement", "devices", "chunk_blocks", "total",
+              "wear_spread", "per_device"}
+SHARD_DEV_KEYS = {"name", "memory_elems", "block_elems", "write_cost",
+                  "amplification", "io", "wear"}
 total = 0
 faulty_runs = 0
 cached_runs = 0
+sharded_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v3", \
+        assert snap.get("schema") == "aem.machine.metrics/v4", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
@@ -64,6 +70,23 @@ for f in sorted(out.glob("*.metrics.jsonl")):
         cache = snap.get("cache")
         assert isinstance(cache, dict) and CACHE_KEYS <= cache.keys(), \
             f"{f.name}:{i}: malformed cache section {cache!r}"
+        shard = snap.get("sharding")
+        assert isinstance(shard, dict) and SHARD_KEYS <= shard.keys(), \
+            f"{f.name}:{i}: malformed sharding section {shard!r}"
+        if shard["enabled"]:
+            sharded_runs += 1
+            assert shard["devices"] > 0 and \
+                shard["devices"] == len(shard["per_device"]), \
+                f"{f.name}:{i}: sharding device count mismatch"
+            assert all(SHARD_DEV_KEYS <= d.keys()
+                       for d in shard["per_device"]), \
+                f"{f.name}:{i}: malformed per_device row"
+            # Device conservation: summed native transfers must equal the
+            # facade totals the section reports (docs/MODEL.md section 13).
+            for k in ("reads", "writes"):
+                assert sum(d["io"][k] for d in shard["per_device"]) == \
+                    shard["total"][k], \
+                    f"{f.name}:{i}: per-device {k} do not sum to the total"
         if cache["enabled"]:
             cached_runs += 1
             # Deferred writes must have been flushed before the snapshot
@@ -94,8 +117,21 @@ assert c1_active, "bench_c1_cache: no cache-enabled snapshots"
 assert any(s["cache"]["read_hits"] > 0 and s["cache"]["write_hits"] > 0
            for s in c1_active), \
     "bench_c1_cache: the pool never absorbed any traffic"
+# bench_s1_shard must have produced sharding-enabled snapshots with live
+# per-device traffic and a computed wear-spread ratio.
+s1 = out / "bench_s1_shard.metrics.jsonl"
+assert s1.exists(), "bench_s1_shard produced no metrics file"
+s1_active = [json.loads(l) for l in s1.read_text().splitlines()
+             if json.loads(l)["sharding"]["enabled"]]
+assert s1_active, "bench_s1_shard: no sharding-enabled snapshots"
+assert any(s["sharding"]["devices"] > 1 and
+           s["sharding"]["total"]["writes"] > 0 and
+           s["sharding"]["wear_spread"] >= 1.0
+           for s in s1_active), \
+    "bench_s1_shard: no multi-device snapshot with live write traffic"
 print(f"validated {total} machine-metrics snapshots "
-      f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled) "
+      f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled, "
+      f"{sharded_runs} sharding-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

@@ -40,6 +40,7 @@ namespace aem {
 class Machine {
  public:
   explicit Machine(Config cfg);
+  virtual ~Machine() = default;
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -58,7 +59,7 @@ class Machine {
   IoStats stats() const { return stats_; }
   /// Q = Q_r + omega * Q_w since construction or the last reset.
   std::uint64_t cost() const { return stats_.cost(cfg_.write_cost); }
-  void reset_stats();
+  virtual void reset_stats();
 
   MemoryLedger& ledger() { return ledger_; }
   const MemoryLedger& ledger() const { return ledger_; }
@@ -161,13 +162,17 @@ class Machine {
 
   // --- hooks used by ExtArray ----------------------------------------------
   /// Registers an array; the returned id appears in traces and diagnostics.
-  std::uint32_t register_array(std::string name);
+  /// Virtual (with on_read/on_write/reset_stats) so core/sharding's
+  /// ShardedMachine can mirror the call onto its member devices; the
+  /// overhead on the plain machine is one indirect call per simulated I/O,
+  /// re-measured by bench_m0_overhead's speedup floor.
+  virtual std::uint32_t register_array(std::string name);
   const std::string& array_name(std::uint32_t id) const;
   std::size_t array_count() const { return arrays_.size(); }
 
   /// Charges one block read / write and records it if tracing.
-  IoTicket on_read(std::uint32_t array, std::uint64_t block);
-  IoTicket on_write(std::uint32_t array, std::uint64_t block);
+  virtual IoTicket on_read(std::uint32_t array, std::uint64_t block);
+  virtual IoTicket on_write(std::uint32_t array, std::uint64_t block);
 
  private:
   friend class PhaseScope;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/machine.hpp"
+#include "core/sharding.hpp"
 
 namespace aem {
 
@@ -112,6 +113,34 @@ MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
     s.cache_resident_dirty = bc->resident_dirty();
   }
 
+  if (const auto* sm = dynamic_cast<const ShardedMachine*>(&mach)) {
+    s.sharding.enabled = true;
+    s.sharding.placement = to_string(sm->placement());
+    s.sharding.chunk_blocks = sm->shard_config().range_chunk_blocks;
+    s.sharding.total_io = sm->devices_stats();
+    s.sharding.total_cost = sm->devices_cost();
+    s.sharding.wear_spread = sm->wear_spread();
+    for (std::size_t d = 0; d < sm->device_count(); ++d) {
+      const Machine& dev = sm->device(d);
+      ShardDeviceMetrics row;
+      row.name = "dev" + std::to_string(d);
+      row.memory_elems = dev.config().memory_elems;
+      row.block_elems = dev.config().block_elems;
+      row.write_cost = dev.config().write_cost;
+      row.amplification = sm->amplification(d);
+      row.io = dev.stats();
+      row.cost = dev.cost();
+      row.wear_enabled = dev.wear_tracking();
+      if (row.wear_enabled) {
+        const Machine::WearStats ws = dev.wear_stats();
+        row.wear_blocks_written = ws.blocks_written;
+        row.wear_max_writes = ws.max_writes;
+        row.wear_mean_writes = ws.mean_writes;
+      }
+      s.sharding.devices.push_back(std::move(row));
+    }
+  }
+
   s.trace_enabled = mach.tracing();
   if (const Trace* tr = mach.trace()) s.trace_ops = tr->size();
 
@@ -209,6 +238,35 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << ",\"invalidated_dirty\":" << cs.invalidated_dirty
        << ",\"resident\":" << s.cache_resident
        << ",\"resident_dirty\":" << s.cache_resident_dirty << "}";
+  }
+
+  {
+    const ShardingMetrics& sh = s.sharding;
+    os << ",\"sharding\":{\"enabled\":" << fmt_bool(sh.enabled)
+       << ",\"placement\":\"" << json_escape(sh.placement) << "\""
+       << ",\"devices\":" << sh.devices.size()
+       << ",\"chunk_blocks\":" << sh.chunk_blocks
+       << ",\"total\":{\"reads\":" << sh.total_io.reads
+       << ",\"writes\":" << sh.total_io.writes
+       << ",\"cost\":" << sh.total_cost << "}"
+       << ",\"wear_spread\":" << fmt_double(sh.wear_spread)
+       << ",\"per_device\":[";
+    for (std::size_t i = 0; i < sh.devices.size(); ++i) {
+      const ShardDeviceMetrics& d = sh.devices[i];
+      if (i != 0) os << ",";
+      os << "{\"name\":\"" << json_escape(d.name) << "\""
+         << ",\"memory_elems\":" << d.memory_elems
+         << ",\"block_elems\":" << d.block_elems
+         << ",\"write_cost\":" << d.write_cost
+         << ",\"amplification\":" << d.amplification
+         << ",\"io\":{\"reads\":" << d.io.reads
+         << ",\"writes\":" << d.io.writes << ",\"cost\":" << d.cost << "}"
+         << ",\"wear\":{\"enabled\":" << fmt_bool(d.wear_enabled)
+         << ",\"blocks_written\":" << d.wear_blocks_written
+         << ",\"max_writes\":" << d.wear_max_writes
+         << ",\"mean_writes\":" << fmt_double(d.wear_mean_writes) << "}}";
+    }
+    os << "]}";
   }
 
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)

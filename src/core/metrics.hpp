@@ -38,11 +38,38 @@ struct ArrayWearMetrics {
   std::uint64_t max_writes = 0;
 };
 
+/// One row per backend device of a ShardedMachine (core/sharding.hpp).
+struct ShardDeviceMetrics {
+  std::string name;  // "dev0", "dev1", ...
+  std::uint64_t memory_elems = 0;
+  std::uint64_t block_elems = 0;
+  std::uint64_t write_cost = 1;
+  std::uint64_t amplification = 1;  // native transfers per logical block
+  IoStats io;                       // native transfer counts
+  std::uint64_t cost = 0;           // reads + write_cost * writes, per device
+  bool wear_enabled = false;
+  std::uint64_t wear_blocks_written = 0;
+  std::uint64_t wear_max_writes = 0;
+  double wear_mean_writes = 0.0;
+};
+
+/// The v4 `sharding` section: per-device rows plus totals.  Default-state
+/// (`enabled == false`, empty rows) on a plain Machine.
+struct ShardingMetrics {
+  bool enabled = false;
+  std::string placement;            // "round-robin" | "range"
+  std::uint64_t chunk_blocks = 0;   // range-placement chunk length
+  IoStats total_io;                 // sum of per-device native transfers
+  std::uint64_t total_cost = 0;     // sum of per-device costs (device omegas)
+  double wear_spread = 0.0;         // max/mean device write counts (1 = even)
+  std::vector<ShardDeviceMetrics> devices;
+};
+
 /// A point-in-time copy of a Machine's observable state.  Plain data: it can
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v3";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v4";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -89,6 +116,10 @@ struct MetricsSnapshot {
   CacheStats cache_stats;
   std::uint64_t cache_resident = 0;
   std::uint64_t cache_resident_dirty = 0;
+
+  // sharding (v4: multi-device aggregation; `sharding.enabled` is false —
+  // and the rows empty — when the machine is not a ShardedMachine)
+  ShardingMetrics sharding;
 
   // trace
   bool trace_enabled = false;

@@ -1,0 +1,154 @@
+#include "core/sharding.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace aem {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kRoundRobin: return "round-robin";
+    case Placement::kRange: return "range";
+  }
+  return "?";
+}
+
+void ShardConfig::validate() const {
+  frontend.validate();
+  if (devices.empty())
+    throw std::invalid_argument("ShardConfig: at least one device required");
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const Config& dev = devices[d];
+    try {
+      dev.validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("ShardConfig: device " + std::to_string(d) +
+                                  ": " + e.what());
+    }
+    if (dev.cache.capacity_blocks != 0)
+      throw std::invalid_argument(
+          "ShardConfig: device " + std::to_string(d) +
+          " configures a cache; caching lives above placement (put it on the "
+          "frontend Config)");
+    if (frontend.block_elems % dev.block_elems != 0)
+      throw std::invalid_argument(
+          "ShardConfig: device " + std::to_string(d) + " block size " +
+          std::to_string(dev.block_elems) +
+          " does not divide the frontend block size " +
+          std::to_string(frontend.block_elems));
+  }
+  if (range_chunk_blocks == 0)
+    throw std::invalid_argument("ShardConfig: range_chunk_blocks must be >= 1");
+}
+
+namespace {
+
+// ShardConfig::validate() must run BEFORE the Machine base is constructed
+// (Machine(frontend) would accept a frontend whose device list is garbage);
+// routing it through this helper sequences the check into the base
+// initializer.
+const Config& validated_frontend(const ShardConfig& cfg) {
+  cfg.validate();
+  return cfg.frontend;
+}
+
+}  // namespace
+
+ShardedMachine::ShardedMachine(ShardConfig cfg)
+    : Machine(validated_frontend(cfg)), scfg_(std::move(cfg)) {
+  devices_.reserve(scfg_.devices.size());
+  amp_.reserve(scfg_.devices.size());
+  for (const Config& dev : scfg_.devices) {
+    devices_.push_back(std::make_unique<Machine>(dev));
+    amp_.push_back(scfg_.frontend.block_elems / dev.block_elems);
+  }
+}
+
+ShardedMachine::Route ShardedMachine::route(std::uint64_t block) const {
+  const auto d = static_cast<std::uint64_t>(devices_.size());
+  if (d == 1) return Route{0, block};
+  switch (scfg_.placement) {
+    case Placement::kRoundRobin:
+      return Route{static_cast<std::size_t>(block % d), block / d};
+    case Placement::kRange: {
+      const auto c = static_cast<std::uint64_t>(scfg_.range_chunk_blocks);
+      const std::uint64_t chunk = block / c;
+      return Route{static_cast<std::size_t>(chunk % d),
+                   (chunk / d) * c + block % c};
+    }
+  }
+  return Route{0, block};
+}
+
+IoStats ShardedMachine::devices_stats() const {
+  IoStats total;
+  for (const auto& dev : devices_) total += dev->stats();
+  return total;
+}
+
+std::uint64_t ShardedMachine::devices_cost() const {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (const auto& dev : devices_) {
+    if (__builtin_add_overflow(total, dev->cost(), &total)) return kMax;
+  }
+  return total;
+}
+
+double ShardedMachine::wear_spread() const {
+  std::uint64_t total = 0;
+  std::uint64_t max_writes = 0;
+  for (const auto& dev : devices_) {
+    const std::uint64_t w = dev->stats().writes;
+    total += w;
+    if (w > max_writes) max_writes = w;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(devices_.size());
+  return static_cast<double>(max_writes) / mean;
+}
+
+void ShardedMachine::enable_device_wear_tracking() {
+  for (auto& dev : devices_) dev->enable_wear_tracking();
+}
+
+std::uint32_t ShardedMachine::register_array(std::string name) {
+  // Mirror the registration on every device so array ids line up across the
+  // whole array (devices receive arrays only through this override).
+  for (auto& dev : devices_) dev->register_array(name);
+  return Machine::register_array(std::move(name));
+}
+
+void ShardedMachine::reset_stats() {
+  Machine::reset_stats();
+  for (auto& dev : devices_) dev->reset_stats();
+}
+
+IoTicket ShardedMachine::on_read(std::uint32_t array, std::uint64_t block) {
+  // Facade first: frontend accounting must be byte-identical to a plain
+  // Machine, including the relative order of a budget-ceiling throw and the
+  // device-side charges (a frontend ceiling fires before any device sees
+  // the transfer, exactly as a plain machine would fire before the device
+  // bus existed).
+  const IoTicket ticket = Machine::on_read(array, block);
+  const Route r = route(block);
+  Machine& dev = *devices_[r.device];
+  const std::uint64_t base = r.local * amp_[r.device];
+  for (std::size_t j = 0; j < amp_[r.device]; ++j)
+    dev.on_read(array, base + j);
+  return ticket;
+}
+
+IoTicket ShardedMachine::on_write(std::uint32_t array, std::uint64_t block) {
+  const IoTicket ticket = Machine::on_write(array, block);
+  const Route r = route(block);
+  Machine& dev = *devices_[r.device];
+  const std::uint64_t base = r.local * amp_[r.device];
+  for (std::size_t j = 0; j < amp_[r.device]; ++j)
+    dev.on_write(array, base + j);
+  return ticket;
+}
+
+}  // namespace aem

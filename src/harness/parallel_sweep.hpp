@@ -38,6 +38,18 @@ namespace aem::harness {
 /// iteration order.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
 
+/// Collision audit for the per-point seed streams.  Returns true iff
+/// derive_seed is injective over every (base, index) pair with base within
+/// `base_radius` of `base_seed` and index < points — INCLUDING the
+/// swapped-argument pairs derive_seed(index, base), which belong to other
+/// sweeps whose base seed happens to equal this sweep's point index.  A
+/// collision anywhere in that family would correlate two "independent"
+/// point RNG streams.  run_sweep asserts this in debug builds for the grid
+/// it is about to run; tests/test_harness.cpp sweeps the bases the benches
+/// actually use.
+bool seed_streams_independent(std::uint64_t base_seed, std::size_t points,
+                              std::uint64_t base_radius = 1);
+
 /// Resolves a requested worker count: 0 means "one per hardware thread"
 /// (at least 1); anything else is taken literally.
 std::size_t resolve_jobs(std::size_t requested);

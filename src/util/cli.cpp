@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <stdexcept>
+#include <system_error>
 
 namespace aem::util {
 
@@ -12,6 +14,19 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 }
 
 }  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // from_chars with an explicit base 10 never skips whitespace and never
+  // accepts a sign or a 0x prefix; requiring full consumption rejects
+  // trailing garbage, and ec reports overflow past 2^64-1.
+  std::uint64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
 
 Cli::Cli(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "";
@@ -37,12 +52,11 @@ bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
 std::uint64_t Cli::u64(const std::string& name, std::uint64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  try {
-    return std::stoull(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                it->second + "'");
-  }
+  if (auto v = parse_u64(it->second)) return *v;
+  throw std::invalid_argument("flag --" + name +
+                              " expects a non-negative base-10 integer < 2^64"
+                              ", got '" +
+                              it->second + "'");
 }
 
 double Cli::f64(const std::string& name, double def) const {
@@ -70,12 +84,11 @@ bool Cli::flag(const std::string& name) const {
 std::size_t Cli::jobs() const {
   if (has("jobs")) return static_cast<std::size_t>(u64("jobs", 1));
   if (const char* env = std::getenv("AEM_JOBS"); env != nullptr && *env != '\0') {
-    try {
-      return static_cast<std::size_t>(std::stoull(env));
-    } catch (const std::exception&) {
-      throw std::invalid_argument(std::string("AEM_JOBS expects an integer, got '") +
-                                  env + "'");
-    }
+    if (auto v = parse_u64(env)) return static_cast<std::size_t>(*v);
+    throw std::invalid_argument(
+        std::string("AEM_JOBS expects a non-negative base-10 integer "
+                    "(0 = one worker per hardware thread), got '") +
+        env + "' — unset it or export AEM_JOBS=<count>");
   }
   return 1;
 }
@@ -90,13 +103,14 @@ std::vector<std::uint64_t> Cli::u64_list(
   while (pos < s.size()) {
     auto comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    try {
-      out.push_back(std::stoull(s.substr(pos, comma - pos)));
-    } catch (const std::exception&) {
-      throw std::invalid_argument("flag --" + name +
-                                  " expects comma-separated integers, got '" +
-                                  s + "'");
+    auto v = parse_u64(std::string_view(s).substr(pos, comma - pos));
+    if (!v) {
+      throw std::invalid_argument(
+          "flag --" + name +
+          " expects comma-separated non-negative base-10 integers, got '" + s +
+          "'");
     }
+    out.push_back(*v);
     pos = comma + 1;
   }
   if (out.empty()) {

@@ -6,10 +6,20 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace aem::util {
+
+/// Strict base-10 unsigned parser used for every integer flag and the
+/// AEM_JOBS environment variable: the whole string must be plain decimal
+/// digits and the value must fit in 64 bits.  Rejects what std::stoull
+/// quietly accepts — leading whitespace, '+'/'-' signs (a negative count
+/// would wrap to a huge unsigned), hex, and trailing garbage ("123abc").
+/// Returns nullopt instead of throwing so callers own the error message.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
 
 class Cli {
  public:
@@ -34,6 +44,8 @@ class Cli {
   /// `--jobs=N` if given, else the AEM_JOBS environment variable, else 1.
   /// 0 means "one worker per hardware thread".  Parallelism never changes
   /// results (MODEL.md section 12), so 1 is always a safe default.
+  /// A malformed value (in either source) throws std::invalid_argument with
+  /// a one-line actionable message; bench mains catch it and exit nonzero.
   std::size_t jobs() const;
 
  private:

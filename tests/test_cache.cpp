@@ -519,6 +519,74 @@ TEST(CacheFaultTest, EvictionBudgetFailureKeepsVictimAndDataIntact) {
   EXPECT_EQ(back[0], 2);
 }
 
+TEST(CacheFaultTest, TornWriteDuringFlushPinsExactCharges) {
+  // Regression guard for the write-back/retry accounting audit: a torn
+  // write injected during flush() must charge EXACTLY one extra write and
+  // the two verify reads — nothing double-charged, nothing dropped, and the
+  // block must come out clean and correct.
+  //
+  // Find a schedule whose first write draw tears and whose second is clean.
+  // The probe replays the exact draw sequence of one flushed block under
+  // verify_writes (read_fault_rate = 0, so verify reads draw nothing):
+  //   attempt 1: draw_write_fault -> torn, draw_u64 (torn prefix length)
+  //   attempt 2: draw_write_fault -> clean
+  FaultConfig fc;
+  fc.torn_write_rate = 0.5;
+  fc.verify_writes = true;
+  fc.checksum_reads = true;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed < 256 && !found; ++seed) {
+    fc.seed = seed;
+    FaultPolicy probe(fc);
+    if (probe.draw_write_fault() == FaultKind::kTornWrite) {
+      probe.draw_u64();
+      found = probe.draw_write_fault() == FaultKind::kNone;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed < 256 gives torn-then-clean (rate 0.5?)";
+
+  const std::uint64_t omega = 4;
+  Machine mach(cached_cfg(64, 8, omega, /*capacity=*/8));
+  mach.install_faults(fc);
+  ExtArray<int> arr(mach, 64, "a");
+  std::vector<int> buf(8);
+  for (int i = 0; i < 8; ++i) buf[i] = 30 + i;
+
+  // The write itself is absorbed by the pool: zero device I/O so far.
+  arr.write_block(3, std::span<const int>(buf));
+  ASSERT_EQ(mach.stats(), (IoStats{0, 0}));
+  ASSERT_EQ(mach.cache()->resident_dirty(), 1u);
+
+  EXPECT_EQ(mach.flush_cache(), 1u);
+
+  // Exact charges: write attempt (torn) + verify read + rewrite + verify
+  // read = 2 reads, 2 writes, Q = 2 + 2*omega.
+  EXPECT_EQ(mach.stats(), (IoStats{2, 2}));
+  EXPECT_EQ(mach.cost(), 2 + 2 * omega);
+  const FaultStats& fs = mach.faults()->stats();
+  EXPECT_EQ(fs.torn_write_faults, 1u);
+  EXPECT_EQ(fs.verify_failures, 1u);
+  EXPECT_EQ(fs.write_retries, 1u);
+  EXPECT_EQ(fs.silent_write_faults, 0u);
+  EXPECT_EQ(fs.read_faults, 0u);
+  const CacheStats cs = mach.cache()->stats();
+  EXPECT_EQ(cs.write_backs, 1u);
+  EXPECT_EQ(cs.flushes, 1u);
+  EXPECT_EQ(mach.cache()->resident_dirty(), 0u);
+
+  // The block is clean: a second flush writes back nothing and charges
+  // nothing (the retry did not leave a phantom dirty bit).
+  EXPECT_EQ(mach.flush_cache(), 0u);
+  EXPECT_EQ(mach.stats(), (IoStats{2, 2}));
+  EXPECT_EQ(mach.cache()->stats().write_backs, 1u);
+
+  // And the stored data survived the torn first attempt.
+  std::vector<int> back(8);
+  arr.read_block(3, std::span<int>(back));  // pool hit: free
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(back[i], 30 + i);
+  EXPECT_EQ(mach.stats(), (IoStats{2, 2}));
+}
+
 // --- the cache changes Q, never results -----------------------------------
 
 TEST(CacheInvarianceTest, SortAndScatterOutputsMatchUncachedRuns) {

@@ -96,6 +96,36 @@ TEST(ParallelSweep, DeriveSeedStableAndDistinct) {
   EXPECT_EQ(seen.size(), 3u * 64u);  // no collisions across the small grid
 }
 
+TEST(ParallelSweep, SeedStreamsIndependentForBenchBases) {
+  // The audit the sweep asserts in debug builds, run over every base seed a
+  // bench binary defaults to (plus 0 and neighbors via the radius).  The
+  // swapped-argument family matters: derive_seed(base, i) colliding with
+  // derive_seed(i, base) would correlate point i of this sweep with point
+  // `base` of a sweep whose base seed is i.
+  for (std::uint64_t base : {0ull, 1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull,
+                             8ull, 9ull, 11ull, 12ull, 13ull, 42ull, 2017ull})
+    EXPECT_TRUE(seed_streams_independent(base, 4096)) << "base " << base;
+  // Wider radius around the common defaults (a --seed override nearby must
+  // not alias either).
+  EXPECT_TRUE(seed_streams_independent(13, 1024, /*base_radius=*/16));
+}
+
+TEST(ParallelSweep, SwappedArgumentsGiveDistinctSeeds) {
+  // Directly pin the asymmetry: two mixing rounds make the argument order
+  // matter, so same-valued (base, index) pairs in either order differ.
+  for (std::uint64_t a : {1ull, 5ull, 13ull, 100ull})
+    for (std::uint64_t b : {0ull, 2ull, 7ull, 99ull}) {
+      if (a == b) continue;
+      EXPECT_NE(derive_seed(a, b), derive_seed(b, a)) << a << "," << b;
+    }
+  // And adjacent bases never produce the same stream at any small index.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 10; base < 16; ++base)
+    for (std::uint64_t idx = 0; idx < 256; ++idx)
+      ASSERT_TRUE(seen.insert(derive_seed(base, idx)).second)
+          << "base " << base << " idx " << idx;
+}
+
 TEST(ParallelSweep, PointRngMatchesDerivedSeed) {
   SweepConfig cfg;
   cfg.jobs = 3;

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "util/cli.hpp"
 #include "util/math.hpp"
@@ -195,6 +198,137 @@ TEST(CliTest, StringAndDouble) {
   EXPECT_EQ(cli.str("out", ""), "results.csv");
   EXPECT_DOUBLE_EQ(cli.f64("eps", 0.0), 0.25);
   EXPECT_EQ(cli.str("missing", "def"), "def");
+}
+
+// --- strict integer parsing (parse_u64 + the flag/env paths built on it) ---
+
+TEST(ParseU64Test, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("1"), 1u);
+  EXPECT_EQ(parse_u64("007"), 7u);  // leading zeros are still base 10
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64Test, RejectsEverythingStoullAccepted) {
+  // Every shape std::stoull mis-handles: whitespace, signs, hex, trailing
+  // garbage, overflow, and non-ASCII junk.
+  const char* bad[] = {
+      "",       " ",      "\t",    "+1",     "-1",   "- 1",
+      "0x10",   "abc",    "12abc", " 3",     "3 ",   "1.5",
+      "1e3",    "18446744073709551616",      // UINT64_MAX + 1
+      "99999999999999999999",                // way past 2^64
+      "järn",   "１２",                      // UTF-8 junk, full-width digits
+  };
+  for (const char* s : bad)
+    EXPECT_FALSE(parse_u64(s).has_value()) << "accepted '" << s << "'";
+}
+
+TEST(CliTest, U64FlagRejectsFuzzedValues) {
+  const char* junk[] = {"",   " ",     "+4",  "-4",    "0x10", "12abc",
+                        "99999999999999999999", "järn", "4 "};
+  for (const char* v : junk) {
+    const std::string arg = std::string("--n=") + v;
+    const char* argv[] = {"prog", arg.c_str()};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_THROW(cli.u64("n", 0), std::invalid_argument) << arg;
+    // The diagnostic names the flag so the user knows what to fix.
+    try {
+      cli.u64("n", 0);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos) << arg;
+    }
+  }
+}
+
+TEST(CliTest, U64ListRejectsFuzzedElements) {
+  for (const char* v : {"1,abc", "1,,2", "1,+2", "1,2 ", "0x1,2"}) {
+    const std::string arg = std::string("--omega=") + v;
+    const char* argv[] = {"prog", arg.c_str()};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_THROW(cli.u64_list("omega", {}), std::invalid_argument) << arg;
+  }
+}
+
+TEST(CliTest, U64AcceptsBoundaryValues) {
+  const char* argv[] = {"prog", "--n=18446744073709551615", "--z=0"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.u64("n", 0), UINT64_MAX);
+  EXPECT_EQ(cli.u64("z", 9), 0u);
+}
+
+/// Scoped AEM_JOBS override so fuzzing the env can't leak into other tests.
+class JobsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("AEM_JOBS");
+    if (old != nullptr) saved_ = old;
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      ::setenv("AEM_JOBS", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("AEM_JOBS");
+    }
+  }
+  static Cli make_cli() {
+    static const char* argv[] = {"prog"};
+    return Cli(1, const_cast<char**>(argv));
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST_F(JobsEnvTest, UnsetDefaultsToOne) {
+  ::unsetenv("AEM_JOBS");
+  EXPECT_EQ(make_cli().jobs(), 1u);
+}
+
+TEST_F(JobsEnvTest, ValidValuesParse) {
+  ::setenv("AEM_JOBS", "4", 1);
+  EXPECT_EQ(make_cli().jobs(), 4u);
+  ::setenv("AEM_JOBS", "1", 1);
+  EXPECT_EQ(make_cli().jobs(), 1u);
+}
+
+TEST_F(JobsEnvTest, EmptyIsTreatedAsUnset) {
+  // `export AEM_JOBS=` (empty) means "no preference", same as unset.
+  ::setenv("AEM_JOBS", "", 1);
+  EXPECT_EQ(make_cli().jobs(), 1u);
+}
+
+TEST_F(JobsEnvTest, ZeroPassesThroughForTheHarnessToResolve) {
+  // 0 = "one worker per hardware thread"; Cli reports it verbatim and
+  // harness/parallel_sweep resolves it to the actual thread count.
+  ::setenv("AEM_JOBS", "0", 1);
+  EXPECT_EQ(make_cli().jobs(), 0u);
+}
+
+TEST_F(JobsEnvTest, MalformedValuesThrowWithActionableMessage) {
+  const char* junk[] = {"abc", "12abc", "-4",   "+4",
+                        " 3",  "3 ",    "0x10", "99999999999999999999",
+                        " ",   "järn"};
+  for (const char* v : junk) {
+    ::setenv("AEM_JOBS", v, 1);
+    Cli cli = make_cli();
+    EXPECT_THROW(cli.jobs(), std::invalid_argument) << "AEM_JOBS='" << v << "'";
+    try {
+      cli.jobs();
+    } catch (const std::invalid_argument& e) {
+      // The message must name the variable and tell the user what to do.
+      EXPECT_NE(std::string(e.what()).find("AEM_JOBS"), std::string::npos)
+          << "AEM_JOBS='" << v << "'";
+    }
+  }
+}
+
+TEST_F(JobsEnvTest, FlagWinsOverEnvironment) {
+  // An explicit --jobs flag must shadow even a malformed environment value
+  // (the env is never consulted when the flag is present).
+  ::setenv("AEM_JOBS", "garbage", 1);
+  const char* argv[] = {"prog", "--jobs=3"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.jobs(), 3u);
 }
 
 }  // namespace
