@@ -46,6 +46,21 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   "$BUILD_DIR/bench/bench_s1_shard" --jobs=2 > /dev/null
 echo "bench_s1_shard clean under ASan+UBSan"
 
+# Store pass: the KV store's bit-packed Elias-Fano index, payload gather,
+# and probe walks are exactly the byte-twiddling code the sanitizers exist
+# for.  Run the store gtests under an injected fault schedule (the store
+# must round-trip through the recovery layer) and the K1 bench with its
+# internal guards as asserts.
+echo "=== store pass (store tests + bench_k1_store under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=11 \
+  "$BUILD_DIR/tests/aem_tests" --gtest_filter='EliasFano*:KvStore*' > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_k1_store" --jobs=2 > /dev/null
+echo "store tests + bench_k1_store clean under ASan+UBSan"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.

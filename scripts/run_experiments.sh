@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1) and
 # collects CSVs plus machine-metrics JSON snapshots (schema
-# aem.machine.metrics/v4, one JSON object per line in
+# aem.machine.metrics/v5, one JSON object per line in
 # $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
@@ -55,14 +55,19 @@ SHARD_KEYS = {"enabled", "placement", "devices", "chunk_blocks", "total",
               "wear_spread", "per_device"}
 SHARD_DEV_KEYS = {"name", "memory_elems", "block_elems", "write_cost",
                   "amplification", "io", "wear"}
+STORE_KEYS = {"enabled", "index", "records", "log_blocks", "payload_words",
+              "payload_blocks", "index_bits", "index_bits_per_page", "gets",
+              "get_hits", "get_log_reads", "get_payload_reads",
+              "max_get_log_reads", "scans", "scan_records", "build"}
 total = 0
 faulty_runs = 0
 cached_runs = 0
 sharded_runs = 0
+store_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v4", \
+        assert snap.get("schema") == "aem.machine.metrics/v5", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
@@ -93,6 +98,15 @@ for f in sorted(out.glob("*.metrics.jsonl")):
             # was taken, or Q under-reports the algorithm's writes.
             assert cache["resident_dirty"] == 0, \
                 f"{f.name}:{i}: snapshot taken with unflushed dirty blocks"
+        store = snap.get("store")
+        assert isinstance(store, dict) and STORE_KEYS <= store.keys(), \
+            f"{f.name}:{i}: malformed store section {store!r}"
+        if store["enabled"]:
+            store_runs += 1
+            assert store["index"] in ("fence", "compact"), \
+                f"{f.name}:{i}: unknown store index {store['index']!r}"
+            assert {"reads", "writes", "cost"} <= store["build"].keys(), \
+                f"{f.name}:{i}: malformed store build section"
         if faults["enabled"]:
             faulty_runs += 1
         total += 1
@@ -129,9 +143,23 @@ assert any(s["sharding"]["devices"] > 1 and
            s["sharding"]["wear_spread"] >= 1.0
            for s in s1_active), \
     "bench_s1_shard: no multi-device snapshot with live write traffic"
+# bench_k1_store must have produced store-enabled snapshots of BOTH index
+# flavors, with live serving traffic and real construction writes.
+k1 = out / "bench_k1_store.metrics.jsonl"
+assert k1.exists(), "bench_k1_store produced no metrics file"
+k1_active = [json.loads(l) for l in k1.read_text().splitlines()
+             if json.loads(l)["store"]["enabled"]]
+assert k1_active, "bench_k1_store: no store-enabled snapshots"
+assert {"fence", "compact"} <= {s["store"]["index"] for s in k1_active}, \
+    "bench_k1_store: missing an index flavor"
+assert all(s["store"]["gets"] > 0 and s["store"]["index_bits"] > 0
+           for s in k1_active), \
+    "bench_k1_store: a store snapshot served no gets or has an empty index"
+assert any(s["store"]["build"]["writes"] > 0 for s in k1_active), \
+    "bench_k1_store: construction reported zero writes"
 print(f"validated {total} machine-metrics snapshots "
       f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled, "
-      f"{sharded_runs} sharding-enabled) "
+      f"{sharded_runs} sharding-enabled, {store_runs} store-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

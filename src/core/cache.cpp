@@ -1,6 +1,7 @@
 #include "core/cache.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace aem {
@@ -125,6 +126,11 @@ void BlockCache::evict_one() {
   const std::uint32_t v = pick_victim();
   Frame& f = frames_[v];
   if (f.dirty) {
+    if (sinks_[f.array] == nullptr)
+      throw std::logic_error(
+          "BlockCache::evict_one: dirty block " + std::to_string(f.block) +
+          " of array " + std::to_string(f.array) +
+          " has no write-back sink (array destroyed or never registered)");
     // May throw (BudgetExceeded, FaultError): nothing has been mutated
     // yet, so the victim simply stays resident and dirty.
     sinks_[f.array]->cache_write_back(f.block);
@@ -179,6 +185,11 @@ std::size_t BlockCache::flush() {
   std::sort(dirty_blocks.begin(), dirty_blocks.end());
   std::size_t written = 0;
   for (const auto& [array, block] : dirty_blocks) {
+    if (sinks_[array] == nullptr)
+      throw std::logic_error(
+          "BlockCache::flush: dirty block " + std::to_string(block) +
+          " of array " + std::to_string(array) +
+          " has no write-back sink (array destroyed or never registered)");
     sinks_[array]->cache_write_back(block);  // may throw; see header
     Frame& f = frames_[lookup(array, block)->frame];
     f.dirty = false;
@@ -190,6 +201,12 @@ std::size_t BlockCache::flush() {
 }
 
 void BlockCache::invalidate_array(std::uint32_t array) {
+  // The array's storage — and with it the Sink the array implements — is
+  // going away.  Forget the sink FIRST, even when no blocks are resident:
+  // leaving the pointer in sinks_ would dangle into the destroyed ExtArray,
+  // an armed use-after-free for any later evict_one()/flush() that touches
+  // this slot.
+  if (array < sinks_.size()) sinks_[array] = nullptr;
   if (array >= index_.size() || index_[array].empty()) return;
   // Deterministic frame-order sweep (the map's iteration order is not).
   for (std::uint32_t v = 0; v < frames_.size(); ++v) {
@@ -211,6 +228,10 @@ void BlockCache::invalidate_array(std::uint32_t array) {
 
 bool BlockCache::contains(std::uint32_t array, std::uint64_t block) const {
   return lookup(array, block) != nullptr;
+}
+
+bool BlockCache::has_sink(std::uint32_t array) const {
+  return array < sinks_.size() && sinks_[array] != nullptr;
 }
 
 bool BlockCache::dirty(std::uint32_t array, std::uint64_t block) const {

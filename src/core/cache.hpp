@@ -70,7 +70,7 @@ struct CacheConfig {
 };
 
 /// Counters of everything the cache did.  Flows into the metrics snapshot
-/// (schema aem.machine.metrics/v4, docs/MODEL.md sec. 11).
+/// (schema aem.machine.metrics/v5, docs/MODEL.md sec. 11).
 struct CacheStats {
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;   // each paid one charged device read
@@ -183,12 +183,18 @@ class BlockCache {
 
   /// Drops every entry of `array` WITHOUT write-backs (the array's storage
   /// is going away: destruction or restaging).  Dirty drops are counted in
-  /// stats().invalidated_dirty.
+  /// stats().invalidated_dirty.  Also forgets the array's write-back sink —
+  /// the Sink lives inside the ExtArray being destroyed, so keeping the
+  /// pointer would leave evict_one()/flush() one dirty frame away from a
+  /// use-after-free.
   void invalidate_array(std::uint32_t array);
 
   // --- introspection (tests, metrics) -------------------------------------
   bool contains(std::uint32_t array, std::uint64_t block) const;
   bool dirty(std::uint32_t array, std::uint64_t block) const;
+  /// True while a live write-back sink is registered for `array` (cleared
+  /// by invalidate_array; regression coverage for the dangling-sink bug).
+  bool has_sink(std::uint32_t array) const;
 
  private:
   static constexpr std::uint32_t kNil =

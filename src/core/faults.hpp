@@ -98,7 +98,7 @@ struct FaultConfig {
 };
 
 /// Counters of everything the fault/recovery machinery did.  Flows into the
-/// metrics snapshot (schema aem.machine.metrics/v4, docs/MODEL.md sec. 10).
+/// metrics snapshot (schema aem.machine.metrics/v5, docs/MODEL.md sec. 10).
 struct FaultStats {
   // injected faults
   std::uint64_t read_faults = 0;

@@ -269,6 +269,27 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
     os << "]}";
   }
 
+  {
+    const StoreMetrics& st = s.store;
+    os << ",\"store\":{\"enabled\":" << fmt_bool(st.enabled)
+       << ",\"index\":\"" << json_escape(st.index) << "\""
+       << ",\"records\":" << st.records
+       << ",\"log_blocks\":" << st.log_blocks
+       << ",\"payload_words\":" << st.payload_words
+       << ",\"payload_blocks\":" << st.payload_blocks
+       << ",\"index_bits\":" << st.index_bits
+       << ",\"index_bits_per_page\":" << fmt_double(st.index_bits_per_page)
+       << ",\"gets\":" << st.gets << ",\"get_hits\":" << st.get_hits
+       << ",\"get_log_reads\":" << st.get_log_reads
+       << ",\"get_payload_reads\":" << st.get_payload_reads
+       << ",\"max_get_log_reads\":" << st.max_get_log_reads
+       << ",\"scans\":" << st.scans
+       << ",\"scan_records\":" << st.scan_records
+       << ",\"build\":{\"reads\":" << st.build_reads
+       << ",\"writes\":" << st.build_writes
+       << ",\"cost\":" << st.build_cost << "}}";
+  }
+
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)
      << ",\"ops\":" << s.trace_ops << "}";
 

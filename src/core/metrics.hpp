@@ -65,11 +65,36 @@ struct ShardingMetrics {
   std::vector<ShardDeviceMetrics> devices;
 };
 
+/// The v5 `store` section: KV-store layout, index size, and serving
+/// counters.  The machine knows nothing about stores, so snapshot_metrics
+/// leaves this default (`enabled == false`); benches that measure a store
+/// attach it by hand (`snap.store = store.metrics_section()`).
+struct StoreMetrics {
+  bool enabled = false;
+  std::string index;  // "fence" | "compact"
+  std::uint64_t records = 0;
+  std::uint64_t log_blocks = 0;
+  std::uint64_t payload_words = 0;
+  std::uint64_t payload_blocks = 0;
+  std::uint64_t index_bits = 0;
+  double index_bits_per_page = 0.0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_log_reads = 0;
+  std::uint64_t get_payload_reads = 0;
+  std::uint64_t max_get_log_reads = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t scan_records = 0;
+  std::uint64_t build_reads = 0;
+  std::uint64_t build_writes = 0;
+  std::uint64_t build_cost = 0;
+};
+
 /// A point-in-time copy of a Machine's observable state.  Plain data: it can
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v4";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v5";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -120,6 +145,10 @@ struct MetricsSnapshot {
   // sharding (v4: multi-device aggregation; `sharding.enabled` is false —
   // and the rows empty — when the machine is not a ShardedMachine)
   ShardingMetrics sharding;
+
+  // store (v5: KV-store section, attached by the measuring bench — see
+  // StoreMetrics above)
+  StoreMetrics store;
 
   // trace
   bool trace_enabled = false;

@@ -88,6 +88,10 @@ class PointContext {
   /// Snapshots `mach` now; the caller serializes snapshots in point order.
   void metrics(const Machine& mach, std::string label);
 
+  /// Captures a snapshot the point built (or amended — e.g. attached a
+  /// `store` section) itself; serialized in point order like metrics().
+  void snapshot(MetricsSnapshot s) { out_->snapshots.push_back(std::move(s)); }
+
  private:
   std::size_t index_;
   std::uint64_t seed_;

@@ -172,22 +172,37 @@ class ExtPriorityQueue {
       // Folding may therefore only keep elements <= the CURRENT back while
       // runs exist — growing the back would hide smaller run elements.
       const T old_back = min_cache_.back();
-      std::vector<T> combined;
-      MemoryReservation merge_res(mach_.ledger(),
-                                  insert_.size() + min_cache_.size());
-      combined.reserve(insert_.size() + min_cache_.size());
-      std::merge(min_cache_.begin(), min_cache_.end(), insert_.begin(),
-                 insert_.end(), std::back_inserter(combined), less_);
-      std::size_t limit = combined.size();
-      if (total_runs() > 0) {
-        limit = static_cast<std::size_t>(
-            std::upper_bound(combined.begin(), combined.end(), old_back,
-                             less_) -
-            combined.begin());
+      const std::size_t total = insert_.size() + min_cache_.size();
+      // The fold consumes both buffers into `combined` (total elements) and
+      // redistributes every element right back, so the queue's residency
+      // during the fold is `total` — not `total` PLUS the standing claims.
+      // Release the standing reservations BEFORE taking the fold's, or a
+      // strict ledger near capacity throws on memory the queue never holds
+      // twice.  On any failure the standing claims are restored to match
+      // the (unchanged) buffers before propagating.
+      insert_res_.resize(0);
+      min_res_.resize(0);
+      try {
+        MemoryReservation merge_res(mach_.ledger(), total);
+        std::vector<T> combined;
+        combined.reserve(total);
+        std::merge(min_cache_.begin(), min_cache_.end(), insert_.begin(),
+                   insert_.end(), std::back_inserter(combined), less_);
+        std::size_t limit = combined.size();
+        if (total_runs() > 0) {
+          limit = static_cast<std::size_t>(
+              std::upper_bound(combined.begin(), combined.end(), old_back,
+                               less_) -
+              combined.begin());
+        }
+        const std::size_t keep = std::min(min_cap_, limit);
+        min_cache_.assign(combined.begin(), combined.begin() + keep);
+        insert_.assign(combined.begin() + keep, combined.end());
+      } catch (...) {
+        sync_ledger();
+        throw;
       }
-      const std::size_t keep = std::min(min_cap_, limit);
-      min_cache_.assign(combined.begin(), combined.begin() + keep);
-      insert_.assign(combined.begin() + keep, combined.end());
+      sync_ledger();  // re-claim at the post-fold sizes (merge_res is gone)
     }
     if (insert_.empty()) {
       sync_ledger();

@@ -108,6 +108,12 @@ inline std::size_t em_merge_fanout(const Machine& mach) {
 /// Sorts `in` into `out` with the symmetric (omega-oblivious) EM mergesort:
 /// in-memory run formation over chunks of ~M/2, then m/2-way merge passes.
 /// Stable for distinct keys; ties broken by position (stable overall).
+///
+/// Stability is load-bearing for consumers, not a nicety: the KV store
+/// (store/kv_store.hpp) sorts its record headers with this routine and
+/// derives get()'s last-insert-wins semantics from duplicate keys staying
+/// in input order.  Weakening the tie-break silently changes which version
+/// of an upserted key a store serves.
 template <class T, class Less = std::less<T>>
 void em_merge_sort(const ExtArray<T>& in, ExtArray<T>& out, Less less = {}) {
   if (in.size() != out.size())

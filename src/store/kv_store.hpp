@@ -1,0 +1,486 @@
+// External-memory key–value object store with a compact serving index.
+//
+// The store is the serving-side counterpart of the sorting pipeline: bulk
+// construction runs the library's omega-oblivious mergesort over the input
+// records, lays the result out as a block-aligned sorted log plus a
+// sequential payload area, and builds a small in-memory index over the
+// log's pages.  After that, point queries are the workload the AEM model
+// prices at ~1 charged read: index lookup (host-side, free), one log-block
+// read, plus ceil(len/B) payload reads for values too large to inline.
+//
+// Two index flavors, selectable per store (StoreConfig::index):
+//
+//  * kFence   — one full 64-bit fence key (the page's first key) per log
+//    block: 64 bits/page, exactly one log read per get.
+//  * kCompact — PaCHash-style quantized fences: each fence keeps only its
+//    top c = ceil(log2 pages) + compact_extra_bits bits, and the monotone
+//    quantized sequence is Elias–Fano coded (store/elias_fano.hpp) down to
+//    ~(2 + extra) bits per page.  Quantization loses the ability to decide
+//    *exactly* which page a key falls on when adjacent fences collide in
+//    their top c bits, so a get probes its candidate page and walks back
+//    over the (rare, geometrically distributed) collision run — still one
+//    read in the common case, bounded by the run length in the worst one.
+//
+// All I/O goes through the Machine stack — ExtArray block transfers under
+// whatever BlockCache / FaultPolicy / ShardedMachine the machine has
+// installed — and all resident index state is charged to the MemoryLedger,
+// so the metrics snapshot's `store` section (core/metrics.hpp, schema v5)
+// reports honest figures.  Cost model: docs/MODEL.md section 14; measured
+// by bench/bench_k1_store.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "core/metrics.hpp"
+#include "io/scanner.hpp"
+#include "io/writer.hpp"
+#include "sort/em_mergesort.hpp"
+#include "store/elias_fano.hpp"
+#include "util/math.hpp"
+
+namespace aem::store {
+
+/// One record header.  Fixed-size so the log is a plain ExtArray<Slot>;
+/// values of at most one word are inlined into `pos`, larger values spill
+/// into the store's payload area.
+///
+///   len == 0: empty value, `pos` unused (0).
+///   len == 1: `pos` IS the value word (inline).
+///   len >= 2: value occupies payload words [pos, pos + len).
+///
+/// In *input* slots (what build() consumes), `pos` of a spilled record
+/// indexes the caller's payload array; build() gathers those words into the
+/// store's own sequential payload area and rewrites `pos`.
+struct Slot {
+  std::uint64_t key = 0;
+  std::uint64_t len = 0;
+  std::uint64_t pos = 0;
+
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+// The log is subject to fault-injection checksumming, which needs every
+// byte of the representation to be value-determined.
+static_assert(std::has_unique_object_representations_v<Slot>);
+
+/// Key order; ties (duplicate keys) are left in input order by the stable
+/// mergesort, which is what gives get() its last-insert-wins semantics.
+struct SlotKeyLess {
+  bool operator()(const Slot& a, const Slot& b) const { return a.key < b.key; }
+};
+
+/// Index flavor of a store.
+enum class IndexKind : std::uint8_t {
+  kFence,    // full 64-bit fence key per log page
+  kCompact,  // Elias–Fano coded quantized fences (~bits per page)
+};
+
+inline const char* to_string(IndexKind k) {
+  switch (k) {
+    case IndexKind::kFence: return "fence";
+    case IndexKind::kCompact: return "compact";
+  }
+  return "?";
+}
+
+struct StoreConfig {
+  IndexKind index = IndexKind::kFence;
+
+  /// kCompact only: quantization bits beyond ceil(log2 pages).  Each extra
+  /// bit costs one bit per page and halves the adjacent-fence collision
+  /// probability (and with it the expected probe-walk length).
+  unsigned compact_extra_bits = 8;
+};
+
+/// Access counters of one store (read_block call counts on the store's
+/// arrays — equal to charged reads at cache capacity 0; with a cache some
+/// of them are free pool hits, visible in the machine's own deltas).
+struct StoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_log_reads = 0;      // log-block reads across all gets
+  std::uint64_t get_payload_reads = 0;  // payload-block reads across all gets
+  std::uint64_t max_get_log_reads = 0;  // worst single get (probe-walk length)
+  std::uint64_t scans = 0;
+  std::uint64_t scan_records = 0;  // records visited across all scans
+
+  friend bool operator==(const StoreStats&, const StoreStats&) = default;
+};
+
+namespace detail {
+
+/// Random-access block reads over an ExtArray<uint64_t> with a one-block
+/// buffer, for the build-time payload gather (input payload positions arrive
+/// in key order, i.e. scattered).  Each distinct block switch is one charged
+/// read; consecutive words from the same block are free.
+class WordReader {
+ public:
+  explicit WordReader(const ExtArray<std::uint64_t>& arr)
+      : arr_(&arr), buf_(arr.machine(), arr.machine().B()) {}
+
+  std::uint64_t word(std::uint64_t pos) {
+    const std::size_t B = arr_->machine().B();
+    const std::uint64_t bi = pos / B;
+    if (!loaded_ || bi != block_) {
+      arr_->read_block(bi, buf_.span());
+      block_ = bi;
+      loaded_ = true;
+    }
+    return buf_[static_cast<std::size_t>(pos % B)];
+  }
+
+ private:
+  const ExtArray<std::uint64_t>* arr_;
+  Buffer<std::uint64_t> buf_;
+  std::uint64_t block_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace detail
+
+class KvStore {
+ public:
+  explicit KvStore(Machine& mach, StoreConfig cfg = {})
+      : mach_(&mach), cfg_(cfg) {}
+
+  KvStore(KvStore&&) = default;
+  KvStore& operator=(KvStore&&) = default;
+
+  /// Bulk-builds the store from `in_slots` (record headers, any order;
+  /// duplicates allowed) and `in_payload` (the words spilled records point
+  /// into).  Three charged phases:
+  ///
+  ///   store.build.sort    stable em_merge_sort of the headers by key;
+  ///   store.build.layout  one scan of the sorted headers, rewriting each
+  ///                       spilled record's `pos` while gathering its words
+  ///                       (random-access reads of in_payload) into the
+  ///                       store's sequential payload area, and collecting
+  ///                       fence keys host-side;
+  ///   store.build.index   host-side index construction (free of I/O) and
+  ///                       a cache flush, so the construction-cost figures
+  ///                       include every deferred write-back.
+  ///
+  /// Construction cost deltas are captured in build_reads()/build_writes()/
+  /// build_cost().  Rebuilding an already-built store throws.
+  void build(const ExtArray<Slot>& in_slots,
+             const ExtArray<std::uint64_t>& in_payload) {
+    if (built_) throw std::logic_error("KvStore::build: already built");
+    Machine& mach = *mach_;
+    const std::size_t B = mach.B();
+    const IoStats before = mach.stats();
+    const std::uint64_t cost_before = mach.cost();
+
+    records_ = in_slots.size();
+    log_ = ExtArray<Slot>(mach, records_, "store.log");
+    payload_ = ExtArray<std::uint64_t>(mach, in_payload.size(),
+                                       "store.payload");
+
+    std::vector<std::uint64_t> fences;
+    {
+      MemoryReservation fence_res(mach.ledger(), mach.n_of(records_));
+      fences.reserve(mach.n_of(records_));
+      {
+        auto sort_phase = mach.phase("store.build.sort");
+        ExtArray<Slot> sorted(mach, records_, "store.sorted");
+        em_merge_sort(in_slots, sorted, SlotKeyLess{});
+
+        auto layout_phase = mach.phase("store.build.layout");
+        Scanner<Slot> in(sorted);
+        Writer<Slot> out(log_);
+        Writer<std::uint64_t> pay(payload_);
+        detail::WordReader gather(in_payload);
+        std::size_t idx = 0;
+        std::uint64_t next_word = 0;
+        while (!in.done()) {
+          Slot s = in.next();
+          if (idx % B == 0) fences.push_back(s.key);
+          if (s.len >= 2) {
+            const std::uint64_t src = s.pos;
+            if (src + s.len > in_payload.size())
+              throw std::out_of_range(
+                  "KvStore::build: spilled record points past the payload "
+                  "input");
+            s.pos = next_word;
+            for (std::uint64_t w = 0; w < s.len; ++w)
+              pay.push(gather.word(src + w));
+            next_word += s.len;
+            if (s.len > max_value_words_) max_value_words_ = s.len;
+          }
+          out.push(s);
+          ++idx;
+        }
+        out.finish();
+        pay.finish();
+        payload_words_ = next_word;
+        // `sorted` dies here; its blocks were only ever read after the sort,
+        // so no dirty write-backs are lost.
+      }
+
+      auto index_phase = mach.phase("store.build.index");
+      if (cfg_.index == IndexKind::kFence) {
+        fences_ = std::move(fences);
+        index_res_ = MemoryReservation(mach.ledger(), fences_.size());
+        index_bits_ = static_cast<std::uint64_t>(fences_.size()) * 64;
+      } else {
+        const std::size_t pages = fences.size();
+        quant_bits_ = std::min<unsigned>(
+            64, util::ilog2_ceil(std::max<std::size_t>(pages, 1)) +
+                    cfg_.compact_extra_bits);
+        std::vector<std::uint64_t> quantized(pages);
+        for (std::size_t i = 0; i < pages; ++i)
+          quantized[i] = quantize(fences[i]);
+        ef_ = EliasFano(quantized, quant_bits_);
+        index_res_ = MemoryReservation(mach.ledger(), ef_.words());
+        index_bits_ = ef_.bits();
+      }
+      // The full fence vector was a build-time temporary; fence_res (and for
+      // kCompact the vector itself) is released here, leaving only the
+      // serving index charged.
+    }
+
+    // Deferred cache write-backs belong to construction, not to the first
+    // query that would otherwise evict them.
+    mach.flush_cache();
+    const IoStats after = mach.stats();
+    build_reads_ = after.reads - before.reads;
+    build_writes_ = after.writes - before.writes;
+    build_cost_ = mach.cost() - cost_before;
+    built_ = true;
+  }
+
+  // --- serving -------------------------------------------------------------
+
+  /// Point query.  Returns the value of the LAST record with `key` in input
+  /// order (stable sort keeps duplicate runs in insertion order, and the
+  /// located page is the last one whose fence is <= key, so "latest insert
+  /// wins" — upsert semantics).  Disengaged optional when the key is absent;
+  /// an engaged empty vector is a present key with an empty value.
+  std::optional<std::vector<std::uint64_t>> get(std::uint64_t key) {
+    check_built();
+    ++stats_.gets;
+    std::uint64_t log_reads = 0;
+    const auto miss = [&]() -> std::optional<std::vector<std::uint64_t>> {
+      note_get(log_reads);
+      return std::nullopt;
+    };
+    if (records_ == 0) return miss();
+
+    Buffer<Slot> page(*mach_, mach_->B());
+    std::size_t count = 0;
+    const std::optional<std::size_t> located =
+        locate_page(key, page, count, log_reads);
+    if (!located) return miss();  // key precedes every stored key
+
+    // Last slot in the page with this key (duplicate runs never extend into
+    // the next page: its fence would then be <= key, contradicting the page
+    // choice above).
+    const Slot* begin = page.data();
+    const Slot* end = begin + count;
+    const Slot* it = std::upper_bound(
+        begin, end, key,
+        [](std::uint64_t k, const Slot& s) { return k < s.key; });
+    if (it == begin || (it - 1)->key != key) return miss();
+    const Slot& hit = *(it - 1);
+    ++stats_.get_hits;
+
+    std::vector<std::uint64_t> value;
+    if (hit.len == 1) {
+      value.push_back(hit.pos);
+    } else if (hit.len >= 2) {
+      value.reserve(static_cast<std::size_t>(hit.len));
+      Scanner<std::uint64_t> pay(payload_, hit.pos, hit.pos + hit.len);
+      const std::uint64_t payload_reads =
+          util::ceil_div(hit.pos + hit.len, mach_->B()) -
+          hit.pos / mach_->B();
+      while (!pay.done()) value.push_back(pay.next());
+      stats_.get_payload_reads += payload_reads;
+    }
+    note_get(log_reads);
+    return value;
+  }
+
+  /// Range query: visits every record with lo <= key <= hi in key order
+  /// (duplicates in input order), streaming the log — and, lazily, the
+  /// payload area — sequentially.  Returns the number of records visited.
+  std::size_t scan(
+      std::uint64_t lo, std::uint64_t hi,
+      const std::function<void(std::uint64_t key,
+                               std::span<const std::uint64_t> value)>& visit) {
+    check_built();
+    ++stats_.scans;
+    if (records_ == 0 || lo > hi) return 0;
+
+    // First page that can contain a key >= lo: the last page whose fence is
+    // STRICTLY below lo (every earlier page ends before lo; later pages may
+    // all start with lo itself when a duplicate run of lo spans pages), or
+    // page 0 when no fence is below lo.  That is locate_page(lo - 1), which
+    // also keeps the quantized index exact.  Under the compact index this
+    // probe-reads its candidate page(s); the Scanner below re-reads the
+    // start page, a bounded price (one read, or a pool hit) for keeping the
+    // sequential path simple.
+    std::size_t start_page = 0;
+    if (lo > 0) {
+      Buffer<Slot> page(*mach_, mach_->B());
+      std::size_t count = 0;
+      std::uint64_t probe_reads = 0;
+      start_page = locate_page(lo - 1, page, count, probe_reads).value_or(0);
+    }
+
+    std::size_t visited = 0;
+    Scanner<Slot> log(log_, start_page * mach_->B(), records_);
+    // Lazily constructed so an all-inline scan charges no payload reads.
+    std::optional<Scanner<std::uint64_t>> pay;
+    std::vector<std::uint64_t> value;
+    while (!log.done()) {
+      const Slot s = log.next();
+      if (s.key < lo) continue;
+      if (s.key > hi) break;
+      value.clear();
+      if (s.len == 1) {
+        value.push_back(s.pos);
+      } else if (s.len >= 2) {
+        if (!pay) pay.emplace(payload_, 0, payload_words_);
+        // Spilled positions are assigned in log order, so one forward
+        // scanner with skip() covers every spilled value in the range.
+        pay->skip(static_cast<std::size_t>(s.pos) - pay->position());
+        for (std::uint64_t w = 0; w < s.len; ++w)
+          value.push_back(pay->next());
+      }
+      visit(s.key, std::span<const std::uint64_t>(value));
+      ++visited;
+    }
+    stats_.scan_records += visited;
+    return visited;
+  }
+
+  // --- introspection -------------------------------------------------------
+  bool built() const { return built_; }
+  const StoreConfig& config() const { return cfg_; }
+  std::size_t records() const { return records_; }
+  std::size_t log_blocks() const { return built_ ? log_.blocks() : 0; }
+  std::uint64_t payload_words() const { return payload_words_; }
+  std::size_t payload_blocks() const {
+    return mach_->n_of(static_cast<std::size_t>(payload_words_));
+  }
+  /// Serving-index size in bits (64/page for kFence, the Elias–Fano size
+  /// for kCompact).
+  std::uint64_t index_bits() const { return index_bits_; }
+  std::uint64_t build_reads() const { return build_reads_; }
+  std::uint64_t build_writes() const { return build_writes_; }
+  std::uint64_t build_cost() const { return build_cost_; }
+  const StoreStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = StoreStats{}; }
+
+  /// The metrics-snapshot `store` section (schema v5).  Attach it to a
+  /// snapshot taken from the same machine:
+  ///   auto snap = snapshot_metrics(mach, label);
+  ///   snap.store = store.metrics_section();
+  StoreMetrics metrics_section() const {
+    StoreMetrics m;
+    m.enabled = true;
+    m.index = to_string(cfg_.index);
+    m.records = records_;
+    m.log_blocks = log_blocks();
+    m.payload_words = payload_words_;
+    m.payload_blocks = payload_blocks();
+    m.index_bits = index_bits_;
+    m.index_bits_per_page =
+        log_blocks() == 0
+            ? 0.0
+            : static_cast<double>(index_bits_) /
+                  static_cast<double>(log_blocks());
+    m.gets = stats_.gets;
+    m.get_hits = stats_.get_hits;
+    m.get_log_reads = stats_.get_log_reads;
+    m.get_payload_reads = stats_.get_payload_reads;
+    m.max_get_log_reads = stats_.max_get_log_reads;
+    m.scans = stats_.scans;
+    m.scan_records = stats_.scan_records;
+    m.build_reads = build_reads_;
+    m.build_writes = build_writes_;
+    m.build_cost = build_cost_;
+    return m;
+  }
+
+ private:
+  void check_built() const {
+    if (!built_) throw std::logic_error("KvStore: not built yet");
+  }
+
+  /// Largest page whose fence (first key) is <= key, leaving that page's
+  /// contents in `page` (`count` records); nullopt when the key precedes
+  /// every stored key.  kFence decides from the fence array (exactly one
+  /// log read); kCompact probes the quantized index's candidate and walks
+  /// back while the probed page provably starts past the key.  The walk
+  /// cannot pass the start of the quantization-collision run: a page with
+  /// q(fence) < q(key) has fence < key and terminates it, so its length is
+  /// bounded by the run of adjacent fences sharing the key's top bits.
+  /// `reads` is incremented once per log-block read.
+  std::optional<std::size_t> locate_page(std::uint64_t key, Buffer<Slot>& page,
+                                         std::size_t& count,
+                                         std::uint64_t& reads) {
+    if (cfg_.index == IndexKind::kFence) {
+      const auto it = std::upper_bound(fences_.begin(), fences_.end(), key);
+      if (it == fences_.begin()) return std::nullopt;
+      const auto bi = static_cast<std::size_t>(it - fences_.begin()) - 1;
+      count = log_.block_elems(bi);
+      log_.read_block(bi, page.span());
+      ++reads;
+      return bi;
+    }
+    std::size_t i = ef_.predecessor(quantize(key));
+    if (i == EliasFano::npos) return std::nullopt;  // q(fence_0) > q(key)
+    for (;;) {
+      count = log_.block_elems(i);
+      log_.read_block(i, page.span());
+      ++reads;
+      if (page[0].key <= key) return i;
+      if (i == 0) return std::nullopt;
+      --i;
+    }
+  }
+
+  void note_get(std::uint64_t log_reads) {
+    stats_.get_log_reads += log_reads;
+    if (log_reads > stats_.max_get_log_reads)
+      stats_.max_get_log_reads = log_reads;
+  }
+
+  std::uint64_t quantize(std::uint64_t key) const {
+    return quant_bits_ >= 64 ? key : key >> (64 - quant_bits_);
+  }
+
+  Machine* mach_ = nullptr;
+  StoreConfig cfg_;
+  bool built_ = false;
+
+  std::size_t records_ = 0;
+  ExtArray<Slot> log_;
+  ExtArray<std::uint64_t> payload_;
+  std::uint64_t payload_words_ = 0;
+  std::uint64_t max_value_words_ = 0;
+
+  // Serving index (one of the two, per cfg_.index), charged for the store's
+  // lifetime.
+  std::vector<std::uint64_t> fences_;
+  EliasFano ef_;
+  unsigned quant_bits_ = 0;
+  MemoryReservation index_res_;
+  std::uint64_t index_bits_ = 0;
+
+  std::uint64_t build_reads_ = 0;
+  std::uint64_t build_writes_ = 0;
+  std::uint64_t build_cost_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace aem::store

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <stdexcept>
 
 namespace aem::util {
 
@@ -15,9 +16,16 @@ constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   return a == 0 ? 0 : (a - 1) / b + 1;
 }
 
-/// Round `a` up to the next multiple of `b`.  b must be > 0.
+/// Round `a` up to the next multiple of `b`.  b must be > 0.  Throws
+/// std::overflow_error when the next multiple exceeds UINT64_MAX — the
+/// naive ceil_div(a, b) * b would silently wrap there, and a wrapped size
+/// or offset is far worse than a loud failure.  (In a constant expression
+/// the throw is a compile error, which is exactly right.)
 constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) {
-  return ceil_div(a, b) * b;
+  const std::uint64_t q = ceil_div(a, b);
+  if (q > UINT64_MAX / b)
+    throw std::overflow_error("round_up: next multiple overflows uint64");
+  return q * b;
 }
 
 /// Floor of log2(x).  x must be > 0.

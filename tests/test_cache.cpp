@@ -647,4 +647,76 @@ TEST(CacheInvarianceTest, CleanFirstAtOmegaOneIsExactlyLru) {
   EXPECT_EQ(run(CachePolicy::kCleanFirst), run(CachePolicy::kLru));
 }
 
+// --- dangling-sink regression --------------------------------------------
+// invalidate_array used to return early when the array had no RESIDENT
+// blocks, leaving its Sink pointer registered — a pointer into the ExtArray
+// being destroyed.  Any later dirty write-back touching that slot would
+// call through freed memory.  The fix forgets the sink unconditionally, and
+// evict_one()/flush() refuse (std::logic_error) to dereference a missing
+// sink instead of crashing.
+
+TEST(BlockCacheTest, DirtyEvictionWithoutSinkThrowsLogicError) {
+  CacheConfig cc;
+  cc.capacity_blocks = 1;
+  BlockCache bc(cc, 1);
+  bc.insert(0, 0, /*dirty=*/true, nullptr);
+  // The pool is full, so this insert must evict the sink-less dirty block.
+  EXPECT_THROW(bc.insert(0, 1, /*dirty=*/false, nullptr), std::logic_error);
+}
+
+TEST(BlockCacheTest, DirtyFlushWithoutSinkThrowsLogicError) {
+  CacheConfig cc;
+  cc.capacity_blocks = 2;
+  BlockCache bc(cc, 1);
+  bc.insert(0, 0, /*dirty=*/true, nullptr);
+  EXPECT_THROW(bc.flush(), std::logic_error);
+}
+
+TEST(BlockCacheTest, InvalidateArrayForgetsSinkEvenWithNoResidentBlocks) {
+  RecordingSink sink;
+  CacheConfig cc;
+  cc.capacity_blocks = 1;
+  BlockCache bc(cc, 1);
+  bc.insert(0, 0, /*dirty=*/false, &sink);
+  EXPECT_TRUE(bc.has_sink(0));
+  // Evict array 0's only (clean) block: registration must outlive residency
+  // (that is what write-allocate of a later block relies on) ...
+  bc.insert(1, 0, /*dirty=*/false, &sink);
+  EXPECT_FALSE(bc.contains(0, 0));
+  EXPECT_TRUE(bc.has_sink(0));
+  // ... but invalidation must clear it even though no block is resident —
+  // this is exactly the early-return path that used to leave it dangling.
+  bc.invalidate_array(0);
+  EXPECT_FALSE(bc.has_sink(0));
+  bc.invalidate_array(1);  // resident-block path clears it too
+  EXPECT_FALSE(bc.has_sink(1));
+}
+
+TEST(CachedMachineTest, DestroyingArrayWithResidentBlocksThenFlushingIsSafe) {
+  Machine mach(cached_cfg(4096, 8, 4, 8));
+  std::uint32_t dead_id = 0;
+  {
+    ExtArray<std::uint64_t> doomed(mach, 32, "doomed");
+    std::vector<std::uint64_t> blk(8, 7);
+    for (std::uint64_t bi = 0; bi < 4; ++bi)
+      doomed.write_block(bi, std::span<const std::uint64_t>(blk));
+    dead_id = doomed.id();
+    EXPECT_EQ(mach.cache()->resident_dirty(), 4u);
+    EXPECT_TRUE(mach.cache()->has_sink(dead_id));
+  }
+  // Destruction dropped the entries AND the sink registration.
+  EXPECT_EQ(mach.cache()->resident_dirty(), 0u);
+  EXPECT_FALSE(mach.cache()->has_sink(dead_id));
+  EXPECT_EQ(mach.cache()->stats().invalidated_dirty, 4u);
+  EXPECT_NO_THROW(mach.flush_cache());
+  // The pool keeps serving fresh arrays normally afterwards.
+  ExtArray<std::uint64_t> fresh(mach, 8, "fresh");
+  std::vector<std::uint64_t> blk(8, 9);
+  fresh.write_block(0, std::span<const std::uint64_t>(blk));
+  EXPECT_EQ(mach.flush_cache(), 1u);
+  std::vector<std::uint64_t> back(8, 0);
+  fresh.read_block(0, std::span<std::uint64_t>(back));
+  EXPECT_EQ(back, blk);
+}
+
 }  // namespace

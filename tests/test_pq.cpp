@@ -228,4 +228,36 @@ TEST(HeapSortTest, CostComparableToMergesortAtModerateOmega) {
       << "heap=" << heap_cost << " merge=" << merge_cost;
 }
 
+// Regression: flush_insert_buffer's cache+buffer fold used to take its
+// transient `total`-element reservation while the standing insert/min
+// reservations were still held, charging the folded elements twice.  With
+// the rest of M occupied by another algorithm's buffer, the double charge
+// pushed a strict ledger over capacity on memory the queue never actually
+// held.  The fold must release the standing claims first (the fold's
+// residency IS the combined buffers), so this sequence completes.
+TEST(ExtPqTest, FoldNearFullMemoryDoesNotDoubleChargeLedger) {
+  Config c = cfg(128, 8, 2);  // insert_cap = min_cap = M/8 = 16, strict
+  Machine mach(c);
+  // An unrelated standing allocation: 80 of the 128 elements are spoken
+  // for.  Pre-fix the fold transiently claimed 16 + 15 + 31 (+ run state)
+  // on top of this and threw CapacityError; post-fix its peak claim is the
+  // 31 folded elements plus run state.
+  MemoryReservation external(mach.ledger(), 80);
+
+  ExtPriorityQueue<std::uint64_t> pq(mach);
+  for (std::uint64_t v = 0; v < 16; ++v) pq.push(v);  // 16th push: flush #1
+  EXPECT_EQ(pq.pop_min(), 0u);  // refill fills the min cache from the run
+  // Second fill; the 16th push folds a 16-element insert buffer with the
+  // 15-element min cache at a nearly-full ledger.
+  for (std::uint64_t v = 100; v < 116; ++v) pq.push(v);
+
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t v = 1; v < 16; ++v) expected.push_back(v);
+  for (std::uint64_t v = 100; v < 116; ++v) expected.push_back(v);
+  std::vector<std::uint64_t> drained;
+  while (!pq.empty()) drained.push_back(pq.pop_min());
+  EXPECT_EQ(drained, expected);
+  EXPECT_FALSE(mach.ledger_poisoned());
+}
+
 }  // namespace

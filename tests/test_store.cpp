@@ -1,0 +1,547 @@
+// Tests for store/: the Elias–Fano sequence coder and the external-memory
+// KV object store — round-trips against host mirrors for both index
+// flavors, duplicate (upsert) semantics, spilled payloads, scan ranges,
+// charged-cost and ledger discipline, cache interaction, fault-injection
+// round-trips, and facade invariance on a sharded machine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "core/faults.hpp"
+#include "core/machine.hpp"
+#include "core/metrics.hpp"
+#include "core/sharding.hpp"
+#include "store/elias_fano.hpp"
+#include "store/kv_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+using store::EliasFano;
+using store::IndexKind;
+using store::KvStore;
+using store::Slot;
+using store::StoreConfig;
+
+Config cfg(std::size_t M, std::size_t B, std::uint64_t w) {
+  Config c;
+  c.memory_elems = M;
+  c.block_elems = B;
+  c.write_cost = w;
+  return c;
+}
+
+// --- Elias–Fano ----------------------------------------------------------
+
+std::vector<std::uint64_t> monotone_values(std::size_t n, unsigned bits,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  const std::uint64_t mask =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  for (auto& x : v) x = rng.next() & mask;
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EliasFanoTest, AccessRoundTrips) {
+  for (unsigned bits : {1u, 7u, 16u, 40u, 64u}) {
+    const auto v = monotone_values(257, bits, 11 + bits);
+    EliasFano ef(v, bits);
+    ASSERT_EQ(ef.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+      EXPECT_EQ(ef.access(i), v[i]) << "bits=" << bits << " i=" << i;
+  }
+}
+
+TEST(EliasFanoTest, PredecessorMatchesReference) {
+  const unsigned bits = 20;
+  const auto v = monotone_values(300, bits, 42);
+  EliasFano ef(v, bits);
+  util::Rng rng(7);
+  auto reference = [&](std::uint64_t q) -> std::size_t {
+    auto it = std::upper_bound(v.begin(), v.end(), q);
+    if (it == v.begin()) return EliasFano::npos;
+    return static_cast<std::size_t>(it - v.begin()) - 1;
+  };
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t q = rng.next() & ((1ull << bits) - 1);
+    EXPECT_EQ(ef.predecessor(q), reference(q)) << "q=" << q;
+  }
+  // Exact values and off-by-ones.
+  for (std::size_t i = 0; i < v.size(); i += 13) {
+    EXPECT_EQ(ef.access(ef.predecessor(v[i])), v[i]);
+    if (v[i] > 0) {
+      EXPECT_EQ(ef.predecessor(v[i] - 1), reference(v[i] - 1));
+    }
+  }
+}
+
+TEST(EliasFanoTest, EmptyAndSingle) {
+  EliasFano empty(std::vector<std::uint64_t>{}, 16);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.bits(), 0u);
+  EXPECT_EQ(empty.predecessor(123), EliasFano::npos);
+
+  EliasFano one(std::vector<std::uint64_t>{9}, 16);
+  EXPECT_EQ(one.access(0), 9u);
+  EXPECT_EQ(one.predecessor(8), EliasFano::npos);
+  EXPECT_EQ(one.predecessor(9), 0u);
+  EXPECT_EQ(one.predecessor(1000), 0u);
+}
+
+TEST(EliasFanoTest, DuplicateValuesAreKeptAndPredecessorReturnsLast) {
+  const std::vector<std::uint64_t> v = {3, 3, 3, 7, 7, 20};
+  EliasFano ef(v, 8);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(ef.access(i), v[i]);
+  EXPECT_EQ(ef.predecessor(3), 2u);
+  EXPECT_EQ(ef.predecessor(7), 4u);
+  EXPECT_EQ(ef.predecessor(19), 4u);
+  EXPECT_EQ(ef.predecessor(20), 5u);
+}
+
+TEST(EliasFanoTest, RejectsBadInput) {
+  EXPECT_THROW(EliasFano({2, 1}, 8), std::invalid_argument);
+  EXPECT_THROW(EliasFano({255, 256}, 8), std::invalid_argument);
+  EXPECT_THROW(EliasFano({0}, 0), std::invalid_argument);
+  EXPECT_THROW(EliasFano({0}, 65), std::invalid_argument);
+}
+
+TEST(EliasFanoTest, CompressesToFewBitsPerValue) {
+  // Universe 2^(log2 n + 8): the coder should land near 2 + 8 bits/value,
+  // far below the 64 of an explicit array.
+  const std::size_t n = 1024;
+  const unsigned bits = 10 + 8;
+  const auto v = monotone_values(n, bits, 3);
+  EliasFano ef(v, bits);
+  EXPECT_LE(ef.bits(), (2 + 8 + 1) * n);
+  EXPECT_LT(ef.bits(), 64 * n / 4);
+}
+
+// --- KV store ------------------------------------------------------------
+
+struct Dataset {
+  std::vector<Slot> slots;             // input order (insertion order)
+  std::vector<std::uint64_t> payload;  // words spilled slots point into
+  // Reference: key -> value of the LAST record with that key (upsert).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> latest;
+};
+
+/// Random records: ~10% empty values, ~55% inline, rest spilled at
+/// 2..max_spill words; ~20% duplicate an earlier key.  Keys are even so
+/// key|1 is a guaranteed miss.
+Dataset make_dataset(std::size_t n, std::uint64_t seed,
+                     std::size_t max_spill = 40) {
+  util::Rng rng(seed);
+  Dataset d;
+  d.slots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t key;
+    if (i > 0 && rng.below(5) == 0) {
+      key = d.slots[rng.below(i)].key;  // duplicate
+    } else {
+      key = rng.next() & ~1ull;
+    }
+    const std::uint64_t kind = rng.below(100);
+    Slot s;
+    s.key = key;
+    std::vector<std::uint64_t> value;
+    if (kind < 10) {
+      s.len = 0;
+      s.pos = 0;
+    } else if (kind < 65) {
+      s.len = 1;
+      s.pos = rng.next();
+      value.push_back(s.pos);
+    } else {
+      s.len = 2 + rng.below(max_spill - 1);
+      s.pos = d.payload.size();
+      for (std::uint64_t w = 0; w < s.len; ++w) {
+        const std::uint64_t word = rng.next();
+        d.payload.push_back(word);
+        value.push_back(word);
+      }
+    }
+    d.latest[key] = value;
+    d.slots.push_back(s);
+  }
+  return d;
+}
+
+/// Stages a dataset into machine-owned input arrays (uncharged: inputs in
+/// external memory are the problem statement).
+std::pair<ExtArray<Slot>, ExtArray<std::uint64_t>> stage(Machine& mach,
+                                                         const Dataset& d) {
+  ExtArray<Slot> slots(mach, d.slots.size(), "input.slots");
+  slots.unsafe_host_fill(std::span<const Slot>(d.slots));
+  ExtArray<std::uint64_t> payload(mach, d.payload.size(), "input.payload");
+  payload.unsafe_host_fill(std::span<const std::uint64_t>(d.payload));
+  return {std::move(slots), std::move(payload)};
+}
+
+/// All records with lo <= key <= hi in key order, duplicates in input
+/// order — what scan() must visit.
+std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+expected_range(const Dataset& d, std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::size_t> idx(d.slots.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return d.slots[a].key < d.slots[b].key;
+  });
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> out;
+  for (std::size_t i : idx) {
+    const Slot& s = d.slots[i];
+    if (s.key < lo || s.key > hi) continue;
+    std::vector<std::uint64_t> value;
+    if (s.len == 1) {
+      value.push_back(s.pos);
+    } else if (s.len >= 2) {
+      for (std::uint64_t w = 0; w < s.len; ++w)
+        value.push_back(d.payload[s.pos + w]);
+    }
+    out.emplace_back(s.key, std::move(value));
+  }
+  return out;
+}
+
+void round_trip(IndexKind kind, std::size_t n, std::uint64_t seed) {
+  Machine mach(cfg(4096, 16, 8));
+  const Dataset d = make_dataset(n, seed);
+  auto [slots, payload] = stage(mach, d);
+  KvStore kv(mach, StoreConfig{kind, 8});
+  kv.build(slots, payload);
+  EXPECT_EQ(kv.records(), n);
+
+  // Every latest-version key is found with its latest value.
+  for (const auto& [key, value] : d.latest) {
+    const auto got = kv.get(key);
+    ASSERT_TRUE(got.has_value()) << to_string(kind) << " key=" << key;
+    EXPECT_EQ(*got, value) << to_string(kind) << " key=" << key;
+  }
+  // Odd keys were never inserted.
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int t = 0; t < 64; ++t)
+    EXPECT_FALSE(kv.get(rng.next() | 1).has_value());
+
+  const auto& st = kv.stats();
+  EXPECT_EQ(st.gets, d.latest.size() + 64);
+  EXPECT_EQ(st.get_hits, d.latest.size());
+
+  // Scans: full range and a few random windows.
+  auto check_scan = [&](std::uint64_t lo, std::uint64_t hi) {
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> seen;
+    kv.scan(lo, hi, [&](std::uint64_t key,
+                        std::span<const std::uint64_t> value) {
+      seen.emplace_back(key,
+                        std::vector<std::uint64_t>(value.begin(), value.end()));
+    });
+    EXPECT_EQ(seen, expected_range(d, lo, hi))
+        << to_string(kind) << " scan [" << lo << ", " << hi << "]";
+  };
+  check_scan(0, ~0ull);
+  for (int t = 0; t < 8; ++t) {
+    std::uint64_t lo = rng.next(), hi = rng.next();
+    if (lo > hi) std::swap(lo, hi);
+    check_scan(lo, hi);
+  }
+}
+
+TEST(KvStoreTest, FenceRoundTrip) { round_trip(IndexKind::kFence, 600, 1); }
+TEST(KvStoreTest, CompactRoundTrip) {
+  round_trip(IndexKind::kCompact, 600, 2);
+}
+TEST(KvStoreTest, FenceRoundTripLarger) {
+  round_trip(IndexKind::kFence, 2000, 3);
+}
+TEST(KvStoreTest, CompactRoundTripLarger) {
+  round_trip(IndexKind::kCompact, 2000, 4);
+}
+
+TEST(KvStoreTest, EmptyAndSingleRecord) {
+  for (IndexKind kind : {IndexKind::kFence, IndexKind::kCompact}) {
+    Machine mach(cfg(4096, 16, 4));
+    ExtArray<Slot> none(mach, 0, "input.slots");
+    ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+    KvStore empty(mach, StoreConfig{kind, 8});
+    empty.build(none, nopay);
+    EXPECT_FALSE(empty.get(7).has_value());
+    EXPECT_EQ(empty.scan(0, ~0ull, [](auto, auto) {}), 0u);
+
+    ExtArray<Slot> one(mach, 1, "input.one");
+    const Slot s{42, 1, 777};
+    one.unsafe_host_fill(std::span<const Slot>(&s, 1));
+    KvStore single(mach, StoreConfig{kind, 8});
+    single.build(one, nopay);
+    ASSERT_TRUE(single.get(42).has_value());
+    EXPECT_EQ(*single.get(42), std::vector<std::uint64_t>{777});
+    EXPECT_FALSE(single.get(41).has_value());
+    EXPECT_FALSE(single.get(43).has_value());
+  }
+}
+
+TEST(KvStoreTest, DuplicateKeysLastInsertWins) {
+  Machine mach(cfg(4096, 16, 4));
+  // 100 versions of the same key interleaved with filler, then a final one.
+  std::vector<Slot> slots;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    slots.push_back(Slot{1000, 1, i});      // version i of key 1000
+    slots.push_back(Slot{2 * i, 1, i * 3});  // filler
+  }
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  for (IndexKind kind : {IndexKind::kFence, IndexKind::kCompact}) {
+    KvStore kv(mach, StoreConfig{kind, 8});
+    kv.build(in, nopay);
+    ASSERT_TRUE(kv.get(1000).has_value());
+    EXPECT_EQ(*kv.get(1000), std::vector<std::uint64_t>{99});
+    // A scan still visits every version, oldest first.
+    std::vector<std::uint64_t> versions;
+    kv.scan(1000, 1000, [&](std::uint64_t, std::span<const std::uint64_t> v) {
+      versions.push_back(v[0]);
+    });
+    ASSERT_EQ(versions.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(versions[i], i);
+  }
+}
+
+TEST(KvStoreTest, EmptyValueIsPresentButEmpty) {
+  Machine mach(cfg(4096, 16, 4));
+  const std::vector<Slot> slots = {Slot{10, 0, 0}, Slot{20, 1, 5}};
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  KvStore kv(mach);
+  kv.build(in, nopay);
+  const auto got = kv.get(10);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(KvStoreTest, FenceGetIsOneLogReadAndChargedAccordingly) {
+  // All-inline store, no cache: a fence get is exactly one charged log
+  // read (plus zero payload reads), the figure MODEL.md section 14 claims.
+  Machine mach(cfg(4096, 16, 8));
+  const Dataset d = make_dataset(512, 5, /*max_spill=*/2);
+  std::vector<Slot> inline_slots = d.slots;
+  for (Slot& s : inline_slots)
+    if (s.len >= 2) {
+      s.len = 1;
+      s.pos = 123;
+    }
+  ExtArray<Slot> in(mach, inline_slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(inline_slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(in, nopay);
+
+  util::Rng rng(17);
+  for (int t = 0; t < 128; ++t) {
+    const std::uint64_t key = inline_slots[rng.below(inline_slots.size())].key;
+    const IoStats before = mach.stats();
+    ASSERT_TRUE(kv.get(key).has_value());
+    const IoStats after = mach.stats();
+    EXPECT_LE(after.reads - before.reads, 1u);
+    EXPECT_EQ(after.writes, before.writes);
+  }
+  EXPECT_EQ(kv.stats().max_get_log_reads, 1u);
+}
+
+TEST(KvStoreTest, CompactIndexIsSmallerAtBoundedExtraReads) {
+  Machine mach(cfg(4096, 16, 8));
+  const Dataset d = make_dataset(2000, 6);
+  auto [slots, payload] = stage(mach, d);
+  KvStore fence(mach, StoreConfig{IndexKind::kFence, 8});
+  fence.build(slots, payload);
+  KvStore compact(mach, StoreConfig{IndexKind::kCompact, 8});
+  compact.build(slots, payload);
+
+  // Strictly fewer index bits...
+  EXPECT_LT(compact.index_bits(), fence.index_bits());
+  EXPECT_EQ(fence.index_bits(), fence.log_blocks() * 64u);
+
+  // ...at a query cost that stays within the fence index's bound plus the
+  // (rare) quantization-collision walk.
+  util::Rng rng(23);
+  for (int t = 0; t < 256; ++t) {
+    const std::uint64_t key = d.slots[rng.below(d.slots.size())].key;
+    ASSERT_TRUE(compact.get(key).has_value());
+    ASSERT_TRUE(fence.get(key).has_value());
+  }
+  EXPECT_EQ(fence.stats().max_get_log_reads, 1u);
+  EXPECT_LE(compact.stats().max_get_log_reads, 2u);
+  // On average the compact index is still ~1 read per get.
+  EXPECT_LE(compact.stats().get_log_reads,
+            compact.stats().gets + compact.stats().gets / 4);
+}
+
+TEST(KvStoreTest, IndexIsChargedToLedgerAndReleasedOnDestruction) {
+  Machine mach(cfg(4096, 16, 8));
+  const Dataset d = make_dataset(1500, 7);
+  const std::size_t baseline = mach.ledger().used();
+  {
+    auto [slots, payload] = stage(mach, d);
+    KvStore fence(mach, StoreConfig{IndexKind::kFence, 8});
+    fence.build(slots, payload);
+    // One fence word per log page resident for the store's lifetime.
+    EXPECT_EQ(mach.ledger().used(), baseline + fence.log_blocks());
+
+    KvStore compact(mach, StoreConfig{IndexKind::kCompact, 8});
+    compact.build(slots, payload);
+    EXPECT_GT(mach.ledger().used(), baseline + fence.log_blocks());
+    // The compact structure occupies fewer words than the fence array.
+    EXPECT_LT(mach.ledger().used() - baseline - fence.log_blocks(),
+              fence.log_blocks());
+  }
+  EXPECT_EQ(mach.ledger().used(), baseline);
+  EXPECT_FALSE(mach.ledger_poisoned());
+}
+
+TEST(KvStoreTest, BuildFlushesCacheBeforeReportingCost) {
+  Config c = cfg(4096, 16, 8);
+  c.cache.capacity_blocks = 32;
+  Machine mach(c);
+  const Dataset d = make_dataset(800, 8);
+  auto [slots, payload] = stage(mach, d);
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(slots, payload);
+  // flush_cache() semantics hold before any cost read: nothing dirty is
+  // hiding deferred construction writes from build_cost().
+  EXPECT_EQ(mach.cache()->resident_dirty(), 0u);
+  EXPECT_GT(kv.build_writes(), 0u);
+  EXPECT_GE(kv.build_cost(),
+            kv.build_reads() + mach.omega() * kv.build_writes());
+}
+
+TEST(KvStoreTest, CacheMakesRepeatGetsFree) {
+  Config c = cfg(4096, 16, 8);
+  c.cache.capacity_blocks = 64;
+  Machine mach(c);
+  const Dataset d = make_dataset(400, 9);
+  auto [slots, payload] = stage(mach, d);
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(slots, payload);
+  const std::uint64_t key = d.latest.begin()->first;
+  const auto first = kv.get(key);
+  const IoStats before = mach.stats();
+  const auto second = kv.get(key);
+  const IoStats after = mach.stats();
+  EXPECT_EQ(first, second);
+  // The page (and any payload blocks) are resident now: zero charged I/O.
+  EXPECT_EQ(after.reads, before.reads);
+  EXPECT_EQ(after.writes, before.writes);
+}
+
+TEST(KvStoreTest, MetricsSectionReflectsStoreState) {
+  Machine mach(cfg(4096, 16, 8));
+  const Dataset d = make_dataset(300, 10);
+  auto [slots, payload] = stage(mach, d);
+  KvStore kv(mach, StoreConfig{IndexKind::kCompact, 8});
+  kv.build(slots, payload);
+  kv.get(d.latest.begin()->first);
+  kv.scan(0, ~0ull, [](auto, auto) {});
+
+  MetricsSnapshot snap = snapshot_metrics(mach, "store-case");
+  EXPECT_FALSE(snap.store.enabled);  // the machine knows nothing of stores
+  snap.store = kv.metrics_section();
+  EXPECT_TRUE(snap.store.enabled);
+  EXPECT_EQ(snap.store.index, "compact");
+  EXPECT_EQ(snap.store.records, kv.records());
+  EXPECT_EQ(snap.store.log_blocks, kv.log_blocks());
+  EXPECT_EQ(snap.store.index_bits, kv.index_bits());
+  EXPECT_EQ(snap.store.gets, 1u);
+  EXPECT_EQ(snap.store.scans, 1u);
+  EXPECT_EQ(snap.store.scan_records, kv.records());
+  const std::string j = to_json(snap);
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v5\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"store\":{\"enabled\":true,\"index\":\"compact\""),
+            std::string::npos);
+}
+
+TEST(KvStoreTest, RebuildAndUnbuiltUseThrow) {
+  Machine mach(cfg(4096, 16, 4));
+  KvStore kv(mach);
+  EXPECT_THROW(kv.get(1), std::logic_error);
+  EXPECT_THROW(kv.scan(0, 1, [](auto, auto) {}), std::logic_error);
+  ExtArray<Slot> none(mach, 0, "input.slots");
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  kv.build(none, nopay);
+  EXPECT_THROW(kv.build(none, nopay), std::logic_error);
+}
+
+TEST(KvStoreFaultTest, RoundTripsOnAFaultyDevice) {
+  Machine mach(cfg(4096, 16, 8));
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.read_fault_rate = 0.02;
+  fc.silent_write_rate = 0.01;
+  fc.torn_write_rate = 0.01;
+  fc.max_retries = 16;
+  // from_env lets CI crank the schedule (AEM_FAULT_RATE / AEM_FAULT_SEED,
+  // see scripts/ci_sanitize.sh) while this base config keeps the test
+  // fault-active in a plain run.
+  mach.install_faults(FaultConfig::from_env(fc));
+
+  const Dataset d = make_dataset(500, 11);
+  auto [slots, payload] = stage(mach, d);
+  KvStore kv(mach, StoreConfig{IndexKind::kCompact, 8});
+  kv.build(slots, payload);
+  for (const auto& [key, value] : d.latest) {
+    const auto got = kv.get(key);
+    ASSERT_TRUE(got.has_value()) << "key=" << key;
+    EXPECT_EQ(*got, value);
+  }
+  // Recovery work actually happened and was charged.
+  EXPECT_GT(mach.faults()->stats().read_retries +
+                mach.faults()->stats().write_retries,
+            0u);
+}
+
+TEST(KvStoreShardTest, FacadeInvariantAcrossPlainAndShardedMachines) {
+  const Dataset d = make_dataset(700, 12);
+
+  Machine plain(cfg(4096, 16, 8));
+  auto [ps, pp] = stage(plain, d);
+  KvStore pkv(plain, StoreConfig{IndexKind::kFence, 8});
+  pkv.build(ps, pp);
+
+  ShardConfig sc;
+  sc.frontend = cfg(4096, 16, 8);
+  for (int i = 0; i < 4; ++i) sc.devices.push_back(cfg(4096, 16, 8));
+  sc.placement = Placement::kRoundRobin;
+  ShardedMachine sharded(sc);
+  auto [ss, sp] = stage(sharded, d);
+  KvStore skv(sharded, StoreConfig{IndexKind::kFence, 8});
+  skv.build(ss, sp);
+
+  // Facade invariance: identical frontend counters and store figures.
+  EXPECT_EQ(pkv.build_reads(), skv.build_reads());
+  EXPECT_EQ(pkv.build_writes(), skv.build_writes());
+  EXPECT_EQ(pkv.build_cost(), skv.build_cost());
+
+  util::Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t key = d.slots[rng.below(d.slots.size())].key;
+    EXPECT_EQ(pkv.get(key), skv.get(key));
+  }
+  EXPECT_EQ(plain.stats().reads, sharded.stats().reads);
+  EXPECT_EQ(plain.stats().writes, sharded.stats().writes);
+  EXPECT_EQ(pkv.stats(), skv.stats());
+
+  // Device conservation: native transfers sum to the frontend counts
+  // (equal geometry: amplification 1).
+  EXPECT_EQ(sharded.devices_stats().reads, sharded.stats().reads);
+  EXPECT_EQ(sharded.devices_stats().writes, sharded.stats().writes);
+}
+
+}  // namespace

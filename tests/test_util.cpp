@@ -33,6 +33,24 @@ TEST(MathTest, RoundUp) {
   EXPECT_EQ(round_up(9, 8), 16u);
 }
 
+// Regression: near UINT64_MAX the old ceil_div(a, b) * b silently wrapped,
+// so round_up(UINT64_MAX, 2) returned 0.  Exact multiples at the top of the
+// range must still round to themselves; anything whose next multiple does
+// not exist must throw instead of wrapping.
+TEST(MathTest, RoundUpSaturationBoundary) {
+  EXPECT_EQ(round_up(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(round_up(UINT64_MAX - 1, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(round_up(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(round_up(1ull << 63, 1ull << 63), 1ull << 63);
+  // 2 * (2^63 - 1) = 2^64 - 2: the largest even value still representable.
+  EXPECT_EQ(round_up(UINT64_MAX - 1, UINT64_MAX / 2), UINT64_MAX - 1);
+
+  EXPECT_THROW(round_up(UINT64_MAX, 2), std::overflow_error);
+  EXPECT_THROW(round_up((1ull << 63) + 1, 1ull << 63), std::overflow_error);
+  EXPECT_THROW(round_up(UINT64_MAX, UINT64_MAX / 2), std::overflow_error);
+  EXPECT_THROW(round_up(UINT64_MAX, UINT64_MAX - 1), std::overflow_error);
+}
+
 TEST(MathTest, Ilog2) {
   EXPECT_EQ(ilog2(1), 0u);
   EXPECT_EQ(ilog2(2), 1u);
