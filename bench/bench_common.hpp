@@ -8,10 +8,11 @@
 // every N (tables, CSVs, and metrics logs; see docs/MODEL.md section 12).
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <mutex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -55,26 +56,36 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "=== " << id << " — " << claim << " ===\n\n";
 }
 
-/// Append-only file sink with truncate-once-per-path semantics: the first
-/// append to a path in this process truncates the file (so re-running a
-/// bench replaces its CSV/metrics log instead of growing it), later appends
-/// extend it.  Mutex-guarded and each payload is written in one open/write
-/// cycle, so concurrent emitters can neither interleave partial payloads
-/// nor double-truncate — the hazard the old function-local `static
-/// std::vector<std::string> seen` in emit() had baked in.
+/// Append-semantics file sink that is also crash-safe: the first append to
+/// a path in this process starts its content fresh (so re-running a bench
+/// replaces its CSV/metrics log instead of growing it), later appends
+/// extend it.  Every append rewrites the file's full accumulated content to
+/// `path + ".tmp"` and atomically renames it over `path`, so a reader (or a
+/// crash — the failure mode this library spends a whole bench simulating)
+/// never observes a half-written file: the old content stays intact until
+/// the new content is durably in place.  Mutex-guarded, so concurrent
+/// emitters can neither interleave partial payloads nor double-truncate —
+/// the hazard the old function-local `static std::vector<std::string>
+/// seen` in emit() had baked in.
 class CsvSink {
  public:
   void append(const std::string& path, const std::string& payload) {
     if (path.empty()) return;
     const std::lock_guard<std::mutex> lock(mu_);
-    const bool first = truncated_.insert(path).second;
-    std::ofstream os(path, first ? std::ios::trunc : std::ios::app);
-    os << payload;
+    std::string& content = files_[path];  // fresh paths start empty
+    content += payload;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
+      os << content;
+      if (!os) return;  // keep the last good version of `path` intact
+    }
+    std::rename(tmp.c_str(), path.c_str());
   }
 
  private:
   std::mutex mu_;
-  std::set<std::string> truncated_;
+  std::map<std::string, std::string> files_;  // accumulated content per path
 };
 
 /// The process-wide sink all emit helpers share.
@@ -99,7 +110,7 @@ inline void emit(const util::Table& t, const std::string& title,
 }
 
 /// Appends one already-taken metrics snapshot (one line, schema
-/// aem.machine.metrics/v5) to `path` through the sink.  No-op when `path`
+/// aem.machine.metrics/v6) to `path` through the sink.  No-op when `path`
 /// is empty, so benches can call it unconditionally and let --metrics=FILE
 /// opt in.
 inline void append_metrics(const MetricsSnapshot& snap,

@@ -420,6 +420,75 @@ int main(int argc, char** argv) try {
                  "metrics)\n\n";
   }
 
+  // Reliability zero-cost guard: an armed-but-never-hit crash point (plus a
+  // configured retry backoff that no fault ever triggers) and an outage
+  // window that never opens must leave every charged counter byte-identical
+  // to a machine that never heard of either.  The insurance must be free
+  // until the disaster happens.
+  {
+    Machine plain(cfg);
+    const std::uint32_t pa = plain.register_array("hot");
+    io_mix(plain, pa, 1 << 16);
+
+    Machine armed(cfg);
+    FaultConfig fc;
+    fc.crash_after_writes = ~0ull >> 1;  // beyond any horizon here
+    fc.retry_backoff_base = 4;           // priced only on actual retries
+    armed.install_faults(fc);
+    const std::uint32_t aa = armed.register_array("hot");
+    io_mix(armed, aa, 1 << 16);
+    if (!(plain.stats() == armed.stats()) || plain.cost() != armed.cost() ||
+        armed.faults()->crashes_fired() != 0) {
+      std::cerr << "FAIL: unarmed crash/backoff schedule perturbed the "
+                   "counters (reads " << plain.stats().reads << " vs "
+                << armed.stats().reads << ", cost " << plain.cost() << " vs "
+                << armed.cost() << ")\n";
+      return 1;
+    }
+
+    auto drive = [](Machine& mach) {
+      ExtArray<std::uint64_t> arr(mach, 1024, "hot");
+      Buffer<std::uint64_t> buf(mach, mach.B());
+      const std::uint64_t blocks = arr.blocks();
+      for (std::uint64_t i = 0; i < 4 * blocks; ++i) {
+        const std::uint64_t bi = (i * 7) % blocks;
+        arr.read_block(bi, buf.span());
+        buf[0] = i;
+        arr.write_block(bi, std::span<const std::uint64_t>(
+                                buf.data(), arr.block_elems(bi)));
+      }
+    };
+    ShardConfig calm_sc;
+    calm_sc.frontend = cfg;
+    calm_sc.devices.assign(2, cfg);
+    ShardedMachine calm(calm_sc);
+    drive(calm);
+
+    ShardConfig far_sc = calm_sc;
+    far_sc.outages = {OutageSpec{1, ~0ull >> 1, 0}};  // never reached
+    ShardedMachine far(far_sc);
+    drive(far);
+
+    MetricsSnapshot mc = snapshot_metrics(calm, "reliability-guard");
+    MetricsSnapshot mf = snapshot_metrics(far, "reliability-guard");
+    // The configured (never-opened) window legitimately shows up as an
+    // outage row; everything else must match to the byte.
+    mc.reliability = ReliabilityMetrics{};
+    mf.reliability = ReliabilityMetrics{};
+    if (!(calm.stats() == far.stats()) || calm.cost() != far.cost() ||
+        !(calm.devices_stats() == far.devices_stats()) ||
+        to_json(mc) != to_json(mf)) {
+      std::cerr << "FAIL: an unreached outage window perturbed the counters "
+                   "(reads " << calm.stats().reads << " vs "
+                << far.stats().reads << ", cost " << calm.cost() << " vs "
+                << far.cost() << ")\n";
+      return 1;
+    }
+    std::cout << "reliability zero-cost guard: armed-but-unhit crash point, "
+                 "backoff schedule, and outage window leave counters and "
+                 "metrics byte-identical\n\n";
+  }
+
   // --- Merge-kernel speedup: loser tree vs the reference O(k) scan -------
   // The same merge (same runs, same machine, byte-identical I/O charge
   // sequence — tests/test_loser_tree.cpp proves Q equality) timed with both

@@ -61,6 +61,24 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   "$BUILD_DIR/bench/bench_k1_store" --jobs=2 > /dev/null
 echo "store tests + bench_k1_store clean under ASan+UBSan"
 
+# Crash-injection pass: cut a durable store build at an env-chosen write
+# (CrashEnvRecoveryTest builds its FaultConfig via from_env and must recover
+# to a byte-identical store), then run bench_f1_recovery, whose internal
+# guards (recovered-store identity, recovery write-bill bound, outage
+# accounting) double as asserts — manifest recovery and the outage
+# queue/drain path are exactly where a torn-state bug would hide from the
+# release build.
+echo "=== crash-injection pass (AEM_CRASH_AFTER_WRITES=45 + bench_f1_recovery under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+AEM_CRASH_AFTER_WRITES=45 \
+  "$BUILD_DIR/tests/aem_tests" \
+  --gtest_filter='CrashEnvRecoveryTest.*' > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_f1_recovery" --jobs=2 > /dev/null
+echo "crash-injection pass clean (env-armed cut recovered; bench_f1_recovery guards hold)"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.
@@ -84,4 +102,4 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
 echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, docs, and TSan passes)"
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, docs, and TSan passes)"

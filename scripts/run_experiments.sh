@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1) and
+# Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1, K1,
+# F1) and
 # collects CSVs plus machine-metrics JSON snapshots (schema
-# aem.machine.metrics/v5, one JSON object per line in
+# aem.machine.metrics/v6, one JSON object per line in
 # $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
@@ -59,15 +60,21 @@ STORE_KEYS = {"enabled", "index", "records", "log_blocks", "payload_words",
               "payload_blocks", "index_bits", "index_bits_per_page", "gets",
               "get_hits", "get_log_reads", "get_payload_reads",
               "max_get_log_reads", "scans", "scan_records", "build"}
+RELIABILITY_KEYS = {"enabled", "crash_after_writes", "crashes",
+                    "retry_attempts", "backoff_ios", "recovery", "outages"}
+OUTAGE_KEYS = {"name", "device", "down_at", "up_at", "down_now",
+               "wait_rounds", "backoff_ios", "failed_reads", "queued_writes",
+               "drained_writes", "pending_writes"}
 total = 0
 faulty_runs = 0
 cached_runs = 0
 sharded_runs = 0
 store_runs = 0
+reliability_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v5", \
+        assert snap.get("schema") == "aem.machine.metrics/v6", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
@@ -107,6 +114,22 @@ for f in sorted(out.glob("*.metrics.jsonl")):
                 f"{f.name}:{i}: unknown store index {store['index']!r}"
             assert {"reads", "writes", "cost"} <= store["build"].keys(), \
                 f"{f.name}:{i}: malformed store build section"
+        rel = snap.get("reliability")
+        assert isinstance(rel, dict) and RELIABILITY_KEYS <= rel.keys(), \
+            f"{f.name}:{i}: malformed reliability section {rel!r}"
+        assert {"scans", "reads", "writes", "cost"} <= \
+            rel["recovery"].keys(), \
+            f"{f.name}:{i}: malformed reliability recovery section"
+        assert all(OUTAGE_KEYS <= o.keys() for o in rel["outages"]), \
+            f"{f.name}:{i}: malformed outage row"
+        if rel["enabled"]:
+            reliability_runs += 1
+        else:
+            # The zero-cost contract: an idle reliability layer reports all
+            # zeros, never residue from another run.
+            assert rel["crashes"] == 0 and rel["backoff_ios"] == 0 and \
+                rel["recovery"]["scans"] == 0 and not rel["outages"], \
+                f"{f.name}:{i}: disabled reliability section has residue"
         if faults["enabled"]:
             faulty_runs += 1
         total += 1
@@ -157,9 +180,28 @@ assert all(s["store"]["gets"] > 0 and s["store"]["index_bits"] > 0
     "bench_k1_store: a store snapshot served no gets or has an empty index"
 assert any(s["store"]["build"]["writes"] > 0 for s in k1_active), \
     "bench_k1_store: construction reported zero writes"
+# bench_f1_recovery must have produced reliability-enabled snapshots: crash
+# episodes with a billed recovery scan, and an outage row whose deferred
+# writes all drained.
+f1 = out / "bench_f1_recovery.metrics.jsonl"
+assert f1.exists(), "bench_f1_recovery produced no metrics file"
+f1_active = [json.loads(l) for l in f1.read_text().splitlines()
+             if json.loads(l)["reliability"]["enabled"]]
+assert f1_active, "bench_f1_recovery: no reliability-enabled snapshots"
+assert any(s["reliability"]["crashes"] == 1 and
+           s["reliability"]["recovery"]["scans"] == 1 and
+           s["reliability"]["recovery"]["reads"] > 0
+           for s in f1_active), \
+    "bench_f1_recovery: no crash episode with a billed recovery scan"
+assert any(o["drained_writes"] > 0 and
+           o["drained_writes"] == o["queued_writes"] and
+           o["pending_writes"] == 0
+           for s in f1_active for o in s["reliability"]["outages"]), \
+    "bench_f1_recovery: no outage snapshot with fully drained writes"
 print(f"validated {total} machine-metrics snapshots "
       f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled, "
-      f"{sharded_runs} sharding-enabled, {store_runs} store-enabled) "
+      f"{sharded_runs} sharding-enabled, {store_runs} store-enabled, "
+      f"{reliability_runs} reliability-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

@@ -51,6 +51,9 @@ void FaultConfig::validate() const {
   if (silent_write_rate + torn_write_rate > 1.0)
     throw std::invalid_argument(
         "FaultConfig: silent_write_rate + torn_write_rate must be <= 1");
+  if (retry_backoff_base != 0 && retry_backoff_cap < retry_backoff_base)
+    throw std::invalid_argument(
+        "FaultConfig: retry_backoff_cap must be >= retry_backoff_base");
 }
 
 FaultConfig FaultConfig::from_env() { return from_env(FaultConfig{}); }
@@ -74,6 +77,15 @@ FaultConfig FaultConfig::from_env(FaultConfig base) {
                                   "' is not an unsigned integer");
     base.seed = s;
   }
+  if (const char* crash = std::getenv("AEM_CRASH_AFTER_WRITES")) {
+    char* end = nullptr;
+    const unsigned long long c = std::strtoull(crash, &end, 10);
+    // strtoull wraps a leading '-' to a huge value instead of failing.
+    if (end == crash || *end != '\0' || crash[0] == '-')
+      throw std::invalid_argument(std::string("AEM_CRASH_AFTER_WRITES: '") +
+                                  crash + "' is not an unsigned integer");
+    base.crash_after_writes = c;
+  }
   return base;
 }
 
@@ -88,6 +100,14 @@ BudgetExceeded::BudgetExceeded(Kind kind, std::uint64_t limit,
       kind_(kind),
       limit_(limit),
       observed_(observed),
+      at_(at) {}
+
+CrashError::CrashError(std::uint64_t after_writes, IoStats at)
+    : std::runtime_error("power cut: crash point hit after " +
+                         std::to_string(after_writes) +
+                         " charged writes (reads=" + std::to_string(at.reads) +
+                         " writes=" + std::to_string(at.writes) + ")"),
+      after_writes_(after_writes),
       at_(at) {}
 
 FaultError::FaultError(bool is_write, std::uint32_t array, std::uint64_t block,
@@ -117,12 +137,26 @@ FaultPolicy::FaultPolicy(FaultConfig cfg) : cfg_(cfg) {
   read_thresh_ = rate_to_threshold(cfg_.read_fault_rate);
   silent_thresh_ = rate_to_threshold(cfg_.silent_write_rate);
   torn_thresh_ = rate_to_threshold(cfg_.torn_write_rate);
+  crash_arm_ = cfg_.crash_after_writes;
 }
 
 void FaultPolicy::reset() {
   counter_ = 0;
   stats_ = FaultStats{};
   writes_.clear();
+  crash_arm_ = cfg_.crash_after_writes;
+  crashes_fired_ = 0;
+  retry_attempts_ = 0;
+  backoff_ios_ = 0;
+}
+
+void FaultPolicy::fire_crash(const IoStats& at) {
+  // One cut per arm: recovery code runs on the same machine afterwards and
+  // must not be cut again at every subsequent write.  reset() re-arms.
+  const std::uint64_t point = crash_arm_;
+  crash_arm_ = 0;
+  ++crashes_fired_;
+  throw CrashError(point, at);
 }
 
 std::uint64_t FaultPolicy::draw(std::uint64_t salt) {

@@ -86,19 +86,67 @@ struct FaultConfig {
   /// Hard ceiling on total I/Os (reads + writes).  0 = unlimited.
   std::uint64_t max_ios = 0;
 
+  /// Deterministic power-cut point: once the machine's charged write
+  /// counter reaches this value, the policy throws CrashError from the
+  /// write hot path.  The Nth write is charged (and, on the plain path,
+  /// persisted) before the cut lands, so the crash point is reproducible
+  /// to the exact block transfer.  One-shot: firing disarms the schedule
+  /// until reset().  0 = unarmed.
+  std::uint64_t crash_after_writes = 0;
+
+  /// Deterministic exponential backoff charged before retry attempt k of
+  /// the recovery layer: min(retry_backoff_base << (k-1),
+  /// retry_backoff_cap) poll reads, charged through the normal machine
+  /// path.  0 (the default) charges nothing — retries stay byte-identical
+  /// to the pre-reliability-layer behavior.
+  std::uint64_t retry_backoff_base = 0;
+  std::uint64_t retry_backoff_cap = 64;
+
   /// Throws std::invalid_argument on out-of-range rates.
   void validate() const;
 
-  /// `base` with AEM_FAULT_RATE / AEM_FAULT_SEED environment overrides
-  /// applied (used by CI to run the whole test suite under a nonzero
-  /// default fault rate).  AEM_FAULT_RATE=r sets read_fault_rate = r and
-  /// splits r evenly between the two write fault kinds.
+  /// `base` with AEM_FAULT_RATE / AEM_FAULT_SEED / AEM_CRASH_AFTER_WRITES
+  /// environment overrides applied (used by CI to run the whole test suite
+  /// under a nonzero default fault rate, and to cut builds at a chosen
+  /// write).  AEM_FAULT_RATE=r sets read_fault_rate = r and splits r
+  /// evenly between the two write fault kinds.
   static FaultConfig from_env(FaultConfig base);
   static FaultConfig from_env();
 };
 
+/// Bounded-retry / deterministic-backoff schedule shared by every retry
+/// loop in the library (ExtArray read checksums and verify-after-write,
+/// BlockCache flush write-backs — both derive theirs from
+/// FaultPolicy::retry() — and ShardedMachine outage waits).  Attempt
+/// numbering: the initial try is attempt 0; retry k (1-based) is preceded
+/// by backoff(k) charged poll I/Os.
+struct RetryPolicy {
+  /// Retries after the initial attempt; attempt >= max_retries is
+  /// exhausted (so a loop performs at most max_retries + 1 attempts).
+  std::size_t max_retries = 4;
+
+  /// Polls charged before retry k: min(backoff_base << (k-1), backoff_cap).
+  /// 0 = no backoff charges.
+  std::uint64_t backoff_base = 0;
+  std::uint64_t backoff_cap = 64;
+
+  bool exhausted(std::size_t attempt) const { return attempt >= max_retries; }
+
+  /// Backoff (in charged poll I/Os) before retry `attempt` (1-based).
+  std::uint64_t backoff(std::size_t attempt) const {
+    if (backoff_base == 0 || attempt == 0) return 0;
+    const std::size_t shift = attempt - 1;
+    if (shift >= 64 || (backoff_base << shift) >> shift != backoff_base)
+      return backoff_cap;
+    const std::uint64_t v = backoff_base << shift;
+    return v < backoff_cap ? v : backoff_cap;
+  }
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
 /// Counters of everything the fault/recovery machinery did.  Flows into the
-/// metrics snapshot (schema aem.machine.metrics/v5, docs/MODEL.md sec. 10).
+/// metrics snapshot (schema aem.machine.metrics/v6, docs/MODEL.md sec. 10).
 struct FaultStats {
   // injected faults
   std::uint64_t read_faults = 0;
@@ -115,6 +163,20 @@ struct FaultStats {
   std::uint64_t remaps = 0;             // retired blocks migrated to spares
 
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Machine-level recovery accounting: every recovery pass (e.g.
+/// KvStore::recover()) notes its full charged bill on the machine it ran
+/// on, and the totals surface in the metrics snapshot's "reliability"
+/// section (schema v6).  The underlying I/Os are also counted in the
+/// machine's IoStats like any other charged transfer — this is
+/// attribution, not double-charging.
+struct RecoveryStats {
+  std::uint64_t scans = 0;   // recovery passes run
+  std::uint64_t reads = 0;   // charged reads across all passes
+  std::uint64_t writes = 0;  // charged writes across all passes
+  std::uint64_t cost = 0;    // Q = reads + omega*writes across all passes
+  friend bool operator==(const RecoveryStats&, const RecoveryStats&) = default;
 };
 
 /// Thrown by the machine when a configured cost / I/O ceiling is exceeded.
@@ -138,6 +200,27 @@ class BudgetExceeded : public std::runtime_error {
   Kind kind_;
   std::uint64_t limit_;
   std::uint64_t observed_;
+  IoStats at_;
+};
+
+/// Thrown from the write hot path when the configured power-cut point
+/// (FaultConfig::crash_after_writes) is reached: the simulated machine
+/// loses power after exactly `after_writes()` charged writes.  Host-side
+/// state of the interrupted computation must be considered lost; external
+/// state persists only up to the crash discipline of the writing layer
+/// (KvStore's manifest, ExtArray checksums).  The machine's counters stay
+/// valid and include the cut write.
+class CrashError : public std::runtime_error {
+ public:
+  CrashError(std::uint64_t after_writes, IoStats at);
+
+  /// The configured crash point (charged writes at the cut).
+  std::uint64_t after_writes() const { return after_writes_; }
+  /// The machine's I/O counters at the moment of the cut.
+  IoStats at() const { return at_; }
+
+ private:
+  std::uint64_t after_writes_;
   IoStats at_;
 };
 
@@ -180,12 +263,28 @@ class FaultPolicy {
   void reset();
 
   /// True if any fault kind can actually fire (rates or endurance set).
-  /// False for a pure budget-watchdog policy.
+  /// False for a pure budget-watchdog policy.  A crash-only schedule does
+  /// NOT count: a power cut interrupts the program but never corrupts a
+  /// completed transfer, so it must not switch ExtArray onto the
+  /// checksummed path (whose extra verify charges would break the
+  /// crash-unarmed byte-identity guarantee).
   bool injects_faults() const {
     return read_thresh_ != 0 || silent_thresh_ != 0 || torn_thresh_ != 0 ||
            cfg_.endurance != 0;
   }
   bool has_ceiling() const { return cfg_.max_cost != 0 || cfg_.max_ios != 0; }
+
+  /// The retry/backoff schedule every recovery loop on this machine obeys
+  /// (ExtArray read/write retries, cache flush write-backs).
+  RetryPolicy retry() const {
+    return RetryPolicy{cfg_.max_retries, cfg_.retry_backoff_base,
+                       cfg_.retry_backoff_cap};
+  }
+
+  /// True while the power-cut schedule is armed and has not fired yet.
+  bool crash_armed() const { return crash_arm_ != 0; }
+  /// Crash points hit since construction / reset().
+  std::uint64_t crashes_fired() const { return crashes_fired_; }
 
   // --- schedule draws (each advances the deterministic stream) ------------
   bool draw_read_fault();
@@ -208,21 +307,33 @@ class FaultPolicy {
   void note_verify_failure() { ++stats_.verify_failures; }
   void note_checksum_failure() { ++stats_.checksum_failures; }
   void note_remap() { ++stats_.remaps; }
+  /// One backoff wait of `polls` charged poll I/Os (the polls themselves go
+  /// through the normal machine path; this only counts them for metrics).
+  void note_backoff(std::uint64_t polls) {
+    ++retry_attempts_;
+    backoff_ios_ += polls;
+  }
+  std::uint64_t retry_attempts() const { return retry_attempts_; }
+  std::uint64_t backoff_ios() const { return backoff_ios_; }
 
-  // --- ceilings (machine hot path) ----------------------------------------
-  /// Throws BudgetExceeded if the counters are past a configured ceiling.
-  void check_budget(const IoStats& s, std::uint64_t omega) const {
+  // --- ceilings + crash schedule (machine hot path) -----------------------
+  /// Throws BudgetExceeded if the counters are past a configured ceiling,
+  /// or CrashError if the armed power-cut point has been reached (the
+  /// schedule disarms itself as it fires — one cut per arm).
+  void check_budget(const IoStats& s, std::uint64_t omega) {
     if (cfg_.max_cost != 0 && s.cost(omega) > cfg_.max_cost)
       throw_budget(BudgetExceeded::Kind::kCost, cfg_.max_cost, s.cost(omega),
                    s);
     if (cfg_.max_ios != 0 && s.total_ios() > cfg_.max_ios)
       throw_budget(BudgetExceeded::Kind::kIos, cfg_.max_ios, s.total_ios(), s);
+    if (crash_arm_ != 0 && s.writes >= crash_arm_) fire_crash(s);
   }
 
  private:
   [[noreturn]] static void throw_budget(BudgetExceeded::Kind kind,
                                         std::uint64_t limit,
                                         std::uint64_t observed, IoStats at);
+  [[noreturn]] void fire_crash(const IoStats& at);
 
   std::uint64_t draw(std::uint64_t salt);
 
@@ -232,6 +343,10 @@ class FaultPolicy {
   std::uint64_t silent_thresh_ = 0;
   std::uint64_t torn_thresh_ = 0;
   std::uint64_t counter_ = 0;
+  std::uint64_t crash_arm_ = 0;  // remaining power-cut point; 0 = unarmed
+  std::uint64_t crashes_fired_ = 0;
+  std::uint64_t retry_attempts_ = 0;  // backoff waits performed
+  std::uint64_t backoff_ios_ = 0;     // charged backoff poll I/Os
   FaultStats stats_;
   // writes_[array][block] = lifetime write count (dense, like the machine's
   // wear histogram; spare blocks get ids just past the logical range).

@@ -14,9 +14,11 @@ void Machine::reset_stats() {
   stats_ = IoStats{};
   clear_phase_stats();
   ledger_.reset_high_water();
+  recovery_ = RecoveryStats{};
   if (wear_) wear_->clear();
   // Rewind the fault schedule too: a measured case that begins with
   // reset_stats() sees the same faults whether or not staging ran before.
+  // (This also re-arms a fired crash point — the write clock restarts.)
   if (faults_) faults_->reset();
   // Cache COUNTERS reset; resident blocks and dirtiness are kept (they are
   // real state, and dropping dirtiness would silently lose deferred

@@ -132,6 +132,22 @@ class Machine {
   FaultPolicy* faults() { return faults_.get(); }
   const FaultPolicy* faults() const { return faults_.get(); }
 
+  // --- reliability (recovery-bill attribution) -----------------------------
+  /// Accumulated bills of recovery passes run on this machine (e.g.
+  /// KvStore::recover()); cleared by reset_stats().  Surfaces in the
+  /// metrics snapshot's "reliability" section.
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  /// Notes one recovery pass's full charged bill (reads / writes / Q
+  /// deltas of the pass).  The I/Os themselves were charged through
+  /// on_read/on_write as usual; this records their attribution.
+  void note_recovery(std::uint64_t reads, std::uint64_t writes,
+                     std::uint64_t cost) {
+    ++recovery_.scans;
+    recovery_.reads += reads;
+    recovery_.writes += writes;
+    recovery_.cost += cost;
+  }
+
   // --- block cache (core/cache.hpp) ----------------------------------------
   /// Installs (replacing any previous — setup-time only, a replaced pool's
   /// dirty blocks are dropped uncharged) a write-back block cache between
@@ -206,6 +222,7 @@ class Machine {
   std::unique_ptr<Trace> trace_;
   std::unique_ptr<FaultPolicy> faults_;
   std::unique_ptr<BlockCache> cache_;
+  RecoveryStats recovery_;
   // wear_[array][block] = write count; vectors grow on demand (block indices
   // are dense within an array, so this is a flat histogram, not a map).
   std::optional<std::vector<std::vector<std::uint64_t>>> wear_;

@@ -102,7 +102,12 @@ MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
     s.faults_enabled = true;
     s.fault_config = fp->config();
     s.fault_stats = fp->stats();
+    s.reliability.crash_after_writes = fp->config().crash_after_writes;
+    s.reliability.crashes = fp->crashes_fired();
+    s.reliability.retry_attempts = fp->retry_attempts();
+    s.reliability.backoff_ios = fp->backoff_ios();
   }
+  s.reliability.recovery = mach.recovery_stats();
 
   if (const BlockCache* bc = mach.cache()) {
     s.cache_enabled = true;
@@ -139,7 +144,29 @@ MetricsSnapshot snapshot_metrics(const Machine& mach, std::string label) {
       }
       s.sharding.devices.push_back(std::move(row));
     }
+    for (const OutageSpec& o : sm->shard_config().outages) {
+      if (o.down_at == 0) continue;  // disabled entry
+      OutageMetrics om;
+      om.name = "dev" + std::to_string(o.device);
+      om.device = o.device;
+      om.down_at = o.down_at;
+      om.up_at = o.up_at;
+      om.down_now = sm->device_down(o.device);
+      const OutageStats& ost = sm->outage_stats(o.device);
+      om.wait_rounds = ost.wait_rounds;
+      om.backoff_ios = ost.backoff_ios;
+      om.failed_reads = ost.failed_reads;
+      om.queued_writes = ost.queued_writes;
+      om.drained_writes = ost.drained_writes;
+      om.pending_writes = sm->pending_writes(o.device);
+      s.reliability.outages.push_back(std::move(om));
+    }
   }
+
+  s.reliability.enabled =
+      s.reliability.crash_after_writes != 0 || s.reliability.crashes != 0 ||
+      s.reliability.retry_attempts != 0 || s.reliability.backoff_ios != 0 ||
+      s.reliability.recovery.scans != 0 || !s.reliability.outages.empty();
 
   s.trace_enabled = mach.tracing();
   if (const Trace* tr = mach.trace()) s.trace_ops = tr->size();
@@ -288,6 +315,35 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << ",\"build\":{\"reads\":" << st.build_reads
        << ",\"writes\":" << st.build_writes
        << ",\"cost\":" << st.build_cost << "}}";
+  }
+
+  {
+    const ReliabilityMetrics& r = s.reliability;
+    os << ",\"reliability\":{\"enabled\":" << fmt_bool(r.enabled)
+       << ",\"crash_after_writes\":" << r.crash_after_writes
+       << ",\"crashes\":" << r.crashes
+       << ",\"retry_attempts\":" << r.retry_attempts
+       << ",\"backoff_ios\":" << r.backoff_ios
+       << ",\"recovery\":{\"scans\":" << r.recovery.scans
+       << ",\"reads\":" << r.recovery.reads
+       << ",\"writes\":" << r.recovery.writes
+       << ",\"cost\":" << r.recovery.cost << "}"
+       << ",\"outages\":[";
+    for (std::size_t i = 0; i < r.outages.size(); ++i) {
+      const OutageMetrics& o = r.outages[i];
+      if (i != 0) os << ",";
+      os << "{\"name\":\"" << json_escape(o.name) << "\""
+         << ",\"device\":" << o.device << ",\"down_at\":" << o.down_at
+         << ",\"up_at\":" << o.up_at
+         << ",\"down_now\":" << fmt_bool(o.down_now)
+         << ",\"wait_rounds\":" << o.wait_rounds
+         << ",\"backoff_ios\":" << o.backoff_ios
+         << ",\"failed_reads\":" << o.failed_reads
+         << ",\"queued_writes\":" << o.queued_writes
+         << ",\"drained_writes\":" << o.drained_writes
+         << ",\"pending_writes\":" << o.pending_writes << "}";
+    }
+    os << "]}";
   }
 
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)

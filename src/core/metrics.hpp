@@ -90,11 +90,43 @@ struct StoreMetrics {
   std::uint64_t build_cost = 0;
 };
 
+/// One row per device with a configured outage window (v6 `reliability`
+/// section; core/sharding.hpp OutageSpec/OutageStats).
+struct OutageMetrics {
+  std::string name;  // "dev0", "dev1", ...
+  std::uint64_t device = 0;
+  std::uint64_t down_at = 0;
+  std::uint64_t up_at = 0;        // 0 = never recovers
+  bool down_now = false;          // inside the window at snapshot time
+  std::uint64_t wait_rounds = 0;
+  std::uint64_t backoff_ios = 0;  // charged frontend poll reads
+  std::uint64_t failed_reads = 0;
+  std::uint64_t queued_writes = 0;
+  std::uint64_t drained_writes = 0;
+  std::uint64_t pending_writes = 0;  // still queued at snapshot time
+};
+
+/// The v6 `reliability` section: the crash-point schedule and hits, the
+/// unified retry/backoff counters, the recovery bill noted on the machine
+/// (Machine::note_recovery — e.g. KvStore::recover), and one degraded-
+/// serving row per device with an outage window.  `enabled` is false — and
+/// everything zero/empty — when none of those features has been armed or
+/// exercised.
+struct ReliabilityMetrics {
+  bool enabled = false;
+  std::uint64_t crash_after_writes = 0;  // configured crash point (0 = none)
+  std::uint64_t crashes = 0;             // CrashErrors fired
+  std::uint64_t retry_attempts = 0;      // backed-off retry attempts
+  std::uint64_t backoff_ios = 0;         // charged backoff poll reads
+  RecoveryStats recovery;
+  std::vector<OutageMetrics> outages;
+};
+
 /// A point-in-time copy of a Machine's observable state.  Plain data: it can
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v5";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v6";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -149,6 +181,10 @@ struct MetricsSnapshot {
   // store (v5: KV-store section, attached by the measuring bench — see
   // StoreMetrics above)
   StoreMetrics store;
+
+  // reliability (v6: crash schedule, retry/backoff, recovery bill, and
+  // per-device outage rows — see ReliabilityMetrics above)
+  ReliabilityMetrics reliability;
 
   // trace
   bool trace_enabled = false;

@@ -40,6 +40,27 @@ void ShardConfig::validate() const {
   }
   if (range_chunk_blocks == 0)
     throw std::invalid_argument("ShardConfig: range_chunk_blocks must be >= 1");
+  std::vector<bool> seen(devices.size(), false);
+  for (const OutageSpec& o : outages) {
+    if (o.device >= devices.size())
+      throw std::invalid_argument("ShardConfig: outage names device " +
+                                  std::to_string(o.device) + " but only " +
+                                  std::to_string(devices.size()) + " exist");
+    if (seen[o.device])
+      throw std::invalid_argument(
+          "ShardConfig: more than one outage window for device " +
+          std::to_string(o.device));
+    seen[o.device] = true;
+    if (o.up_at != 0 && o.up_at <= o.down_at)
+      throw std::invalid_argument(
+          "ShardConfig: outage window for device " + std::to_string(o.device) +
+          " ends at op " + std::to_string(o.up_at) +
+          ", not after it starts at op " + std::to_string(o.down_at));
+  }
+  if (outage_retry.backoff_base != 0 &&
+      outage_retry.backoff_cap < outage_retry.backoff_base)
+    throw std::invalid_argument(
+        "ShardConfig: outage_retry.backoff_cap must be >= backoff_base");
 }
 
 namespace {
@@ -63,6 +84,66 @@ ShardedMachine::ShardedMachine(ShardConfig cfg)
     devices_.push_back(std::make_unique<Machine>(dev));
     amp_.push_back(scfg_.frontend.block_elems / dev.block_elems);
   }
+  down_at_.assign(devices_.size(), 0);
+  up_at_.assign(devices_.size(), 0);
+  queued_.resize(devices_.size());
+  ostats_.assign(devices_.size(), OutageStats{});
+  for (const OutageSpec& o : scfg_.outages) {
+    down_at_[o.device] = o.down_at;
+    up_at_[o.device] = o.up_at;
+    if (o.down_at != 0) outages_armed_ = true;
+  }
+}
+
+bool ShardedMachine::device_down(std::size_t d) const {
+  const std::uint64_t down = down_at_.at(d);
+  if (down == 0) return false;
+  const std::uint64_t clock = op_clock();
+  return clock >= down && (up_at_[d] == 0 || clock < up_at_[d]);
+}
+
+void ShardedMachine::drain_recovered() {
+  if (!outages_armed_) return;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    if (queued_[d].empty() || device_down(d)) continue;
+    // FIFO replay at device prices.  Device charges never advance the
+    // frontend op clock, so the window state is stable across the drain
+    // and the replay is deterministic for any --jobs.
+    std::vector<QueuedWrite> q;
+    q.swap(queued_[d]);
+    for (const QueuedWrite& w : q) devices_[d]->on_write(w.array, w.native);
+    ostats_[d].drained_writes += q.size();
+  }
+}
+
+void ShardedMachine::wait_for_device(std::size_t d, std::uint32_t array,
+                                     std::uint64_t block) {
+  const RetryPolicy& retry = scfg_.outage_retry;
+  OutageStats& os = ostats_[d];
+  std::size_t attempt = 0;
+  while (device_down(d)) {
+    if (retry.exhausted(attempt)) {
+      ++os.failed_reads;
+      throw FaultError(/*is_write=*/false, array, block, attempt + 1,
+                       "device " + std::to_string(d) +
+                           " is down and its outage window did not close "
+                           "within the retry budget");
+    }
+    ++attempt;
+    // Each wait round charges frontend poll reads (at least one, so the
+    // clock always advances toward up_at).  The polls go through the plain
+    // Machine path: phase-attributed, traced, and — with a cost or I/O
+    // ceiling configured — subject to BudgetExceeded, which turns an
+    // over-long degraded interval into admission control, not a crash.
+    std::uint64_t polls = retry.backoff(attempt);
+    if (polls == 0) polls = 1;
+    ++os.wait_rounds;
+    os.backoff_ios += polls;
+    for (std::uint64_t i = 0; i < polls; ++i) Machine::on_read(array, block);
+  }
+  // The device is back; settle its deferred writes before serving reads
+  // that may depend on them.
+  drain_recovered();
 }
 
 ShardedMachine::Route ShardedMachine::route(std::uint64_t block) const {
@@ -124,6 +205,11 @@ std::uint32_t ShardedMachine::register_array(std::string name) {
 void ShardedMachine::reset_stats() {
   Machine::reset_stats();
   for (auto& dev : devices_) dev->reset_stats();
+  // The op clock restarts, so the outage windows re-arm; queued-but-
+  // undrained deferred writes belong to the discarded measurement and are
+  // dropped with it (drain_recovered() first if they must be settled).
+  for (auto& q : queued_) q.clear();
+  ostats_.assign(devices_.size(), OutageStats{});
 }
 
 IoTicket ShardedMachine::on_read(std::uint32_t array, std::uint64_t block) {
@@ -134,6 +220,10 @@ IoTicket ShardedMachine::on_read(std::uint32_t array, std::uint64_t block) {
   // bus existed).
   const IoTicket ticket = Machine::on_read(array, block);
   const Route r = route(block);
+  if (outages_armed_) {
+    drain_recovered();
+    if (device_down(r.device)) wait_for_device(r.device, array, block);
+  }
   Machine& dev = *devices_[r.device];
   const std::uint64_t base = r.local * amp_[r.device];
   for (std::size_t j = 0; j < amp_[r.device]; ++j)
@@ -144,6 +234,20 @@ IoTicket ShardedMachine::on_read(std::uint32_t array, std::uint64_t block) {
 IoTicket ShardedMachine::on_write(std::uint32_t array, std::uint64_t block) {
   const IoTicket ticket = Machine::on_write(array, block);
   const Route r = route(block);
+  if (outages_armed_) {
+    drain_recovered();
+    if (device_down(r.device)) {
+      // The logical write is accepted (the frontend charged it — the
+      // algorithm's Q is outage-independent); its native device transfers
+      // are deferred until the device recovers.
+      const std::uint64_t base = r.local * amp_[r.device];
+      auto& q = queued_[r.device];
+      for (std::size_t j = 0; j < amp_[r.device]; ++j)
+        q.push_back(QueuedWrite{array, base + j});
+      ostats_[r.device].queued_writes += amp_[r.device];
+      return ticket;
+    }
+  }
   Machine& dev = *devices_[r.device];
   const std::uint64_t base = r.local * amp_[r.device];
   for (std::size_t j = 0; j < amp_[r.device]; ++j)

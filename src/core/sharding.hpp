@@ -51,6 +51,30 @@ enum class Placement : std::uint8_t {
 
 const char* to_string(Placement p);
 
+/// One device's planned outage window, in frontend op-clock units (the
+/// frontend's charged reads + writes since construction or the last
+/// reset_stats()).  The device is down for every logical transfer whose
+/// frontend charge lands at clock in [down_at, up_at); up_at 0 means the
+/// device never comes back.  While a device is down, reads against it wait
+/// (bounded retries, exponential backoff charged as frontend poll reads)
+/// and writes queue, draining at device prices once the window closes.
+struct OutageSpec {
+  std::size_t device = 0;
+  std::uint64_t down_at = 0;  // 0 disables this entry
+  std::uint64_t up_at = 0;    // 0 = never recovers
+};
+
+/// Degraded-serving counters of one device's outage handling (metrics
+/// reliability section, schema v6).
+struct OutageStats {
+  std::uint64_t wait_rounds = 0;     // read retry rounds spent waiting
+  std::uint64_t backoff_ios = 0;     // charged frontend poll reads
+  std::uint64_t failed_reads = 0;    // reads that exhausted the retry budget
+  std::uint64_t queued_writes = 0;   // native writes deferred while down
+  std::uint64_t drained_writes = 0;  // deferred writes replayed on recovery
+  friend bool operator==(const OutageStats&, const OutageStats&) = default;
+};
+
 /// Configuration for a ShardedMachine: the frontend (logical) machine the
 /// algorithm sees, plus one Config per backend device.
 struct ShardConfig {
@@ -69,9 +93,23 @@ struct ShardConfig {
   /// Chunk length (in logical blocks) for Placement::kRange.
   std::size_t range_chunk_blocks = 64;
 
+  /// Planned device outages (at most one window per device).  Empty (the
+  /// default) keeps the serving path byte-identical to the pre-outage
+  /// facade: the hot path pays one bool test per transfer.
+  std::vector<OutageSpec> outages;
+
+  /// Retry/backoff schedule for reads against a down device: retry k waits
+  /// max(1, backoff(k)) charged frontend poll reads (the waiting itself
+  /// advances the op clock, so a bounded wait can reach up_at — and trips
+  /// a configured budget ceiling, turning BudgetExceeded into admission
+  /// control).  Exhaustion throws FaultError.
+  RetryPolicy outage_retry{/*max_retries=*/8, /*backoff_base=*/1,
+                           /*backoff_cap=*/64};
+
   /// Throws std::invalid_argument on: no devices, an invalid frontend or
   /// device Config, a device block size that does not divide the frontend
-  /// block size, a device cache, or a zero range chunk.
+  /// block size, a device cache, a zero range chunk, or a bad outage entry
+  /// (unknown device, duplicate device, window that ends before it starts).
   void validate() const;
 };
 
@@ -114,6 +152,26 @@ class ShardedMachine : public Machine {
   /// Turns on the per-(array, block) write histogram on every device.
   void enable_device_wear_tracking();
 
+  // --- degraded serving (outage schedule) ---------------------------------
+  /// Frontend op clock the outage windows are evaluated against: charged
+  /// frontend reads + writes so far (including backoff polls).
+  std::uint64_t op_clock() const { return stats().total_ios(); }
+  /// True while device d is inside its configured outage window.
+  bool device_down(std::size_t d) const;
+  const OutageStats& outage_stats(std::size_t d) const {
+    return ostats_.at(d);
+  }
+  /// Native writes still queued for device d (deferred while it was down
+  /// and not yet drained).
+  std::size_t pending_writes(std::size_t d) const {
+    return queued_.at(d).size();
+  }
+  /// Replays every queued write whose device has recovered, at device
+  /// prices, in FIFO order.  Runs automatically before each logical
+  /// transfer; public so callers can settle the array at a quiet point
+  /// before reading aggregate counters.
+  void drain_recovered();
+
   // --- Machine overrides --------------------------------------------------
   std::uint32_t register_array(std::string name) override;
   void reset_stats() override;
@@ -121,9 +179,26 @@ class ShardedMachine : public Machine {
   IoTicket on_write(std::uint32_t array, std::uint64_t block) override;
 
  private:
+  struct QueuedWrite {
+    std::uint32_t array = 0;
+    std::uint64_t native = 0;  // device-native block index
+  };
+
+  /// Bounded-retry wait for a down device (reads).  Each retry charges
+  /// frontend poll reads; throws FaultError on exhaustion.
+  void wait_for_device(std::size_t d, std::uint32_t array,
+                       std::uint64_t block);
+
   ShardConfig scfg_;
   std::vector<std::unique_ptr<Machine>> devices_;
   std::vector<std::size_t> amp_;  // amp_[d] = frontend B / device d's B
+
+  // Outage state (all empty-schedule costs: one bool test per transfer).
+  bool outages_armed_ = false;
+  std::vector<std::uint64_t> down_at_;  // per device; 0 = no outage
+  std::vector<std::uint64_t> up_at_;
+  std::vector<std::vector<QueuedWrite>> queued_;
+  std::vector<OutageStats> ostats_;
 };
 
 }  // namespace aem

@@ -24,9 +24,17 @@
 // All I/O goes through the Machine stack — ExtArray block transfers under
 // whatever BlockCache / FaultPolicy / ShardedMachine the machine has
 // installed — and all resident index state is charged to the MemoryLedger,
-// so the metrics snapshot's `store` section (core/metrics.hpp, schema v5)
+// so the metrics snapshot's `store` section (core/metrics.hpp, schema v6)
 // reports honest figures.  Cost model: docs/MODEL.md section 14; measured
 // by bench/bench_k1_store.
+//
+// Builds are optionally crash-consistent (StoreConfig::manifest_interval):
+// a checksummed two-slot manifest — the classic alternating-superblock
+// discipline, FNV-1a validated like the ExtArray recovery checksums —
+// records the build frontier, and recover() turns a mid-build power cut
+// (core/faults.hpp CrashError) into a charged resume instead of a loss.
+// Reliability cost model: docs/MODEL.md section 15; measured by
+// bench/bench_f1_recovery.
 #pragma once
 
 #include <algorithm>
@@ -99,7 +107,51 @@ struct StoreConfig {
   /// bit costs one bit per page and halves the adjacent-fence collision
   /// probability (and with it the expected probe-walk length).
   unsigned compact_extra_bits = 8;
+
+  /// Crash-consistent (durable) builds: > 0 arms the superblock/manifest
+  /// discipline — build() writes a checksummed manifest checkpoint every
+  /// `manifest_interval` log pages plus a committed manifest at the end,
+  /// enabling recover() after a mid-build power cut (CrashError).  Each
+  /// checkpoint costs the manifest-slot write(s) plus the partial-payload
+  /// block sync (an fsync, priced honestly).  0 (the default) builds
+  /// exactly as before: no manifest array, no checkpoint writes, charges
+  /// byte-identical to the pre-reliability-layer store.
+  std::size_t manifest_interval = 0;
 };
+
+/// What KvStore::recover() found and did.  The charged I/O of the whole
+/// recovery pass (detection + fence re-scan + resumed or restarted build
+/// work) is in reads/writes/cost, and is also noted on the machine
+/// (Machine::note_recovery) for the metrics reliability section.
+struct RecoveryReport {
+  enum class Outcome : std::uint8_t {
+    kReindexed,  // data committed; only the host-side index was rebuilt
+    kResumed,    // torn build resumed from the last committed checkpoint
+    kRestarted,  // no usable manifest; the build ran again from the inputs
+  };
+
+  Outcome outcome = Outcome::kRestarted;
+  std::uint64_t manifest_reads = 0;  // charged manifest-slot reads
+  std::uint64_t scan_reads = 0;      // charged log-page reads (fence rebuild)
+  /// Records already durable at the checkpoint the build resumed from.
+  std::size_t records_recovered = 0;
+  /// The machine's charged-write clock stored in that checkpoint (0 when
+  /// restarted) — the bench's recovery-write-bill bound is measured
+  /// against writes after this mark.
+  std::uint64_t writes_at_checkpoint = 0;
+  std::uint64_t reads = 0;   // full recover() bill
+  std::uint64_t writes = 0;  // full recover() bill
+  std::uint64_t cost = 0;    // full recover() bill (Q)
+};
+
+inline const char* to_string(RecoveryReport::Outcome o) {
+  switch (o) {
+    case RecoveryReport::Outcome::kReindexed: return "reindexed";
+    case RecoveryReport::Outcome::kResumed: return "resumed";
+    case RecoveryReport::Outcome::kRestarted: return "restarted";
+  }
+  return "?";
+}
 
 /// Access counters of one store (read_block call counts on the store's
 /// arrays — equal to charged reads at cache capacity 0; with a cache some
@@ -171,11 +223,17 @@ class KvStore {
   ///
   /// Construction cost deltas are captured in build_reads()/build_writes()/
   /// build_cost().  Rebuilding an already-built store throws.
+  ///
+  /// With StoreConfig::manifest_interval > 0 the build is additionally
+  /// crash-consistent: a checksummed two-slot manifest records the build
+  /// frontier (after the sort, every `manifest_interval` log pages during
+  /// layout, and at commit), so a CrashError thrown mid-build leaves a
+  /// state recover() can resume from.  The non-durable default charges
+  /// exactly what it always has (no manifest array, no checkpoint writes).
   void build(const ExtArray<Slot>& in_slots,
              const ExtArray<std::uint64_t>& in_payload) {
     if (built_) throw std::logic_error("KvStore::build: already built");
     Machine& mach = *mach_;
-    const std::size_t B = mach.B();
     const IoStats before = mach.stats();
     const std::uint64_t cost_before = mach.cost();
 
@@ -183,64 +241,30 @@ class KvStore {
     log_ = ExtArray<Slot>(mach, records_, "store.log");
     payload_ = ExtArray<std::uint64_t>(mach, in_payload.size(),
                                        "store.payload");
+    if (durable())
+      manifest_ = ExtArray<std::uint64_t>(
+          mach, 2 * manifest_slot_blocks() * mach.B(), "store.manifest");
 
     std::vector<std::uint64_t> fences;
     {
       MemoryReservation fence_res(mach.ledger(), mach.n_of(records_));
       fences.reserve(mach.n_of(records_));
-      {
-        auto sort_phase = mach.phase("store.build.sort");
-        ExtArray<Slot> sorted(mach, records_, "store.sorted");
-        em_merge_sort(in_slots, sorted, SlotKeyLess{});
-
-        auto layout_phase = mach.phase("store.build.layout");
-        Scanner<Slot> in(sorted);
-        Writer<Slot> out(log_);
-        Writer<std::uint64_t> pay(payload_);
-        detail::WordReader gather(in_payload);
-        std::size_t idx = 0;
-        std::uint64_t next_word = 0;
-        while (!in.done()) {
-          Slot s = in.next();
-          if (idx % B == 0) fences.push_back(s.key);
-          if (s.len >= 2) {
-            const std::uint64_t src = s.pos;
-            if (src + s.len > in_payload.size())
-              throw std::out_of_range(
-                  "KvStore::build: spilled record points past the payload "
-                  "input");
-            s.pos = next_word;
-            for (std::uint64_t w = 0; w < s.len; ++w)
-              pay.push(gather.word(src + w));
-            next_word += s.len;
-            if (s.len > max_value_words_) max_value_words_ = s.len;
-          }
-          out.push(s);
-          ++idx;
-        }
-        out.finish();
-        pay.finish();
-        payload_words_ = next_word;
-        // `sorted` dies here; its blocks were only ever read after the sort,
-        // so no dirty write-backs are lost.
-      }
-
-      auto index_phase = mach.phase("store.build.index");
-      if (cfg_.index == IndexKind::kFence) {
-        fences_ = std::move(fences);
-        index_res_ = MemoryReservation(mach.ledger(), fences_.size());
-        index_bits_ = static_cast<std::uint64_t>(fences_.size()) * 64;
+      if (durable()) {
+        run_durable_build(in_slots, in_payload, fences);
       } else {
-        const std::size_t pages = fences.size();
-        quant_bits_ = std::min<unsigned>(
-            64, util::ilog2_ceil(std::max<std::size_t>(pages, 1)) +
-                    cfg_.compact_extra_bits);
-        std::vector<std::uint64_t> quantized(pages);
-        for (std::size_t i = 0; i < pages; ++i)
-          quantized[i] = quantize(fences[i]);
-        ef_ = EliasFano(quantized, quant_bits_);
-        index_res_ = MemoryReservation(mach.ledger(), ef_.words());
-        index_bits_ = ef_.bits();
+        {
+          auto sort_phase = mach.phase("store.build.sort");
+          ExtArray<Slot> sorted(mach, records_, "store.sorted");
+          em_merge_sort(in_slots, sorted, SlotKeyLess{});
+
+          auto layout_phase = mach.phase("store.build.layout");
+          layout_stream(sorted, in_payload, 0, 0, fences);
+          // `sorted` dies here; its blocks were only ever read after the
+          // sort, so no dirty write-backs are lost.
+        }
+
+        auto index_phase = mach.phase("store.build.index");
+        build_index(fences);
       }
       // The full fence vector was a build-time temporary; fence_res (and for
       // kCompact the vector itself) is released here, leaving only the
@@ -255,6 +279,107 @@ class KvStore {
     build_writes_ = after.writes - before.writes;
     build_cost_ = mach.cost() - cost_before;
     built_ = true;
+  }
+
+  /// Post-crash recovery of a durable build (see build()).  Reads both
+  /// manifest slots (charged), picks the newest valid one, and:
+  ///
+  ///  * committed       — the data is all durable; every log page is
+  ///                      re-scanned to rebuild the host-side fences and
+  ///                      index (kReindexed);
+  ///  * sorted / layout — pages below the checkpoint frontier are
+  ///                      re-scanned, the layout stream resumes from
+  ///                      (records_done, payload_words_done), and the
+  ///                      build commits (kResumed);
+  ///  * no valid slot   — the crash predates the first checkpoint; the
+  ///                      whole durable build runs again (kRestarted).
+  ///
+  /// All recovery I/O is charged under phase "store.recover" (nested with
+  /// the usual store.build.* phases for resumed work), reported on the
+  /// machine (Machine::note_recovery — the metrics reliability section),
+  /// and returned in the RecoveryReport.  build_reads()/writes()/cost()
+  /// keep the figures of the interrupted build() attempt; the recovery
+  /// bill is accounted separately.  Throws std::logic_error if the store
+  /// is already built, is not durable, or build() was never attempted.
+  RecoveryReport recover(const ExtArray<Slot>& in_slots,
+                         const ExtArray<std::uint64_t>& in_payload) {
+    if (built_) throw std::logic_error("KvStore::recover: already built");
+    if (!durable())
+      throw std::logic_error(
+          "KvStore::recover: not a durable store (manifest_interval == 0)");
+    if (manifest_.size() == 0)
+      throw std::logic_error("KvStore::recover: no interrupted build");
+    if (in_slots.size() != records_)
+      throw std::invalid_argument(
+          "KvStore::recover: inputs do not match the interrupted build");
+    Machine& mach = *mach_;
+    const IoStats before = mach.stats();
+    const std::uint64_t cost_before = mach.cost();
+    RecoveryReport rep;
+    {
+      auto recover_phase = mach.phase("store.recover");
+      Manifest best;
+      for (std::size_t slot = 0; slot < 2; ++slot) {
+        const Manifest m = read_manifest_slot(slot, rep.manifest_reads);
+        if (m.valid && (!best.valid || m.seq > best.seq)) best = m;
+      }
+      // Resync the commit sequence to the surviving slot, so the next
+      // commit overwrites the OTHER slot (the crash may have torn the
+      // in-flight one — it must stay overwritable, not trusted).
+      if (best.valid) manifest_seq_ = best.seq;
+
+      std::vector<std::uint64_t> fences;
+      MemoryReservation fence_res(mach.ledger(), mach.n_of(records_));
+      fences.reserve(mach.n_of(records_));
+      if (best.valid && best.phase == kPhaseCommitted) {
+        payload_words_ = best.words_done;
+        max_value_words_ = best.max_value_words;
+        rescan_fences(static_cast<std::size_t>(best.pages_done), fences,
+                      rep.scan_reads);
+        build_index(fences);
+        sorted_ = ExtArray<Slot>();
+        rep.outcome = RecoveryReport::Outcome::kReindexed;
+        rep.records_recovered = records_;
+        rep.writes_at_checkpoint = best.writes_at_commit;
+      } else if (best.valid && sorted_.size() == records_) {
+        // The sorted run was committed before the first layout write could
+        // tear, and everything below the frontier is durable: redo only
+        // the tail.
+        max_value_words_ = best.max_value_words;
+        rescan_fences(static_cast<std::size_t>(best.pages_done), fences,
+                      rep.scan_reads);
+        {
+          auto layout_phase = mach.phase("store.build.layout");
+          layout_stream(sorted_, in_payload,
+                        static_cast<std::size_t>(best.records_done),
+                        best.words_done, fences);
+        }
+        {
+          auto index_phase = mach.phase("store.build.index");
+          build_index(fences);
+        }
+        mach.flush_cache();
+        commit_manifest(kPhaseCommitted, records_, payload_words_);
+        sorted_ = ExtArray<Slot>();
+        rep.outcome = RecoveryReport::Outcome::kResumed;
+        rep.records_recovered = static_cast<std::size_t>(best.records_done);
+        rep.writes_at_checkpoint = best.writes_at_commit;
+      } else {
+        // Nothing durable to trust: run the whole build again.
+        max_value_words_ = 0;
+        payload_words_ = 0;
+        run_durable_build(in_slots, in_payload, fences);
+        rep.outcome = RecoveryReport::Outcome::kRestarted;
+      }
+    }
+    mach.flush_cache();
+    const IoStats after = mach.stats();
+    rep.reads = after.reads - before.reads;
+    rep.writes = after.writes - before.writes;
+    rep.cost = mach.cost() - cost_before;
+    mach.note_recovery(rep.reads, rep.writes, rep.cost);
+    built_ = true;
+    return rep;
   }
 
   // --- serving -------------------------------------------------------------
@@ -380,7 +505,7 @@ class KvStore {
   const StoreStats& stats() const { return stats_; }
   void reset_stats() { stats_ = StoreStats{}; }
 
-  /// The metrics-snapshot `store` section (schema v5).  Attach it to a
+  /// The metrics-snapshot `store` section (schema v6).  Attach it to a
   /// snapshot taken from the same machine:
   ///   auto snap = snapshot_metrics(mach, label);
   ///   snap.store = store.metrics_section();
@@ -411,9 +536,233 @@ class KvStore {
     return m;
   }
 
+  /// The underlying device arrays (diagnostics and identity checks — e.g.
+  /// bench_f1_recovery proving a recovered store byte-identical to an
+  /// uncrashed build).
+  const ExtArray<Slot>& log_array() const { return log_; }
+  const ExtArray<std::uint64_t>& payload_array() const { return payload_; }
+  /// Number of manifest commits so far (0 on a non-durable store).
+  std::uint64_t manifest_commits() const { return manifest_seq_; }
+  /// Device blocks held by the manifest array (both slots; 0 when
+  /// non-durable or before build()).
+  std::size_t manifest_blocks() const {
+    return manifest_.size() == 0 ? 0 : 2 * manifest_slot_blocks();
+  }
+
  private:
+  static constexpr std::uint64_t kManifestMagic = 0x41454d4b56313653ULL;
+  static constexpr std::uint64_t kPhaseSorted = 1;
+  static constexpr std::uint64_t kPhaseLayout = 2;
+  static constexpr std::uint64_t kPhaseCommitted = 3;
+  static constexpr std::size_t kManifestWords = 10;
+
+  /// A decoded (and checksum-validated) manifest slot.
+  struct Manifest {
+    bool valid = false;
+    std::uint64_t seq = 0;
+    std::uint64_t phase = 0;
+    std::uint64_t records_done = 0;
+    std::uint64_t words_done = 0;
+    std::uint64_t pages_done = 0;
+    std::uint64_t max_value_words = 0;
+    std::uint64_t writes_at_commit = 0;
+    std::uint64_t records_total = 0;
+  };
+
+  bool durable() const { return cfg_.manifest_interval > 0; }
+  std::size_t manifest_slot_blocks() const {
+    return mach_->n_of(kManifestWords);
+  }
+
   void check_built() const {
     if (!built_) throw std::logic_error("KvStore: not built yet");
+  }
+
+  /// The durable build body, shared by build() and recover()'s restart
+  /// path: sort into the sorted_ member (kept until commit so a resume can
+  /// re-read it), checkpoint the sorted run, stream the layout with
+  /// periodic checkpoints, build the index, commit.  Assumes log_,
+  /// payload_, and manifest_ are allocated.
+  void run_durable_build(const ExtArray<Slot>& in_slots,
+                         const ExtArray<std::uint64_t>& in_payload,
+                         std::vector<std::uint64_t>& fences) {
+    Machine& mach = *mach_;
+    {
+      auto sort_phase = mach.phase("store.build.sort");
+      if (sorted_.size() != records_)
+        sorted_ = ExtArray<Slot>(mach, records_, "store.sorted");
+      em_merge_sort(in_slots, sorted_, SlotKeyLess{});
+    }
+    // The sorted run is the durable input of every later resume: commit it
+    // before the first layout write can tear.
+    commit_manifest(kPhaseSorted, 0, 0);
+    {
+      auto layout_phase = mach.phase("store.build.layout");
+      layout_stream(sorted_, in_payload, 0, 0, fences);
+    }
+    {
+      auto index_phase = mach.phase("store.build.index");
+      build_index(fences);
+    }
+    mach.flush_cache();
+    commit_manifest(kPhaseCommitted, records_, payload_words_);
+    sorted_ = ExtArray<Slot>();
+  }
+
+  /// The layout-phase body, shared by build() and recover(): streams
+  /// sorted records [start_record, records_) into the log, gathering each
+  /// spilled record's words into the sequential payload area from
+  /// `start_word` on, appending one fence per page started.  On a durable
+  /// store a checkpoint manifest is committed every manifest_interval log
+  /// pages; the partial payload block is synced first (its next flush then
+  /// pays the read-modify-write a real device would), so the recorded
+  /// frontier is genuinely on device.  start_record must be page-aligned.
+  void layout_stream(const ExtArray<Slot>& sorted,
+                     const ExtArray<std::uint64_t>& in_payload,
+                     std::size_t start_record, std::uint64_t start_word,
+                     std::vector<std::uint64_t>& fences) {
+    Machine& mach = *mach_;
+    const std::size_t B = mach.B();
+    Scanner<Slot> in(sorted, start_record, records_);
+    Writer<Slot> out(log_, start_record);
+    Writer<std::uint64_t> pay(payload_,
+                              static_cast<std::size_t>(start_word));
+    detail::WordReader gather(in_payload);
+    std::size_t idx = start_record;
+    std::uint64_t next_word = start_word;
+    const std::size_t every = cfg_.manifest_interval * B;  // in records
+    while (!in.done()) {
+      if (every != 0 && idx != start_record && idx % every == 0) {
+        pay.finish();  // sync the partial payload block under the frontier
+        commit_manifest(kPhaseLayout, idx, next_word);
+      }
+      Slot s = in.next();
+      if (idx % B == 0) fences.push_back(s.key);
+      if (s.len >= 2) {
+        const std::uint64_t src = s.pos;
+        if (src + s.len > in_payload.size())
+          throw std::out_of_range(
+              "KvStore::build: spilled record points past the payload "
+              "input");
+        s.pos = next_word;
+        for (std::uint64_t w = 0; w < s.len; ++w)
+          pay.push(gather.word(src + w));
+        next_word += s.len;
+        if (s.len > max_value_words_) max_value_words_ = s.len;
+      }
+      out.push(s);
+      ++idx;
+    }
+    out.finish();
+    pay.finish();
+    payload_words_ = next_word;
+  }
+
+  /// Host-side serving-index construction from the collected fence keys
+  /// (consumes `fences` under kFence).  I/O-free; the index reservation
+  /// stays charged for the store's lifetime.
+  void build_index(std::vector<std::uint64_t>& fences) {
+    Machine& mach = *mach_;
+    if (cfg_.index == IndexKind::kFence) {
+      fences_ = std::move(fences);
+      index_res_ = MemoryReservation(mach.ledger(), fences_.size());
+      index_bits_ = static_cast<std::uint64_t>(fences_.size()) * 64;
+    } else {
+      const std::size_t pages = fences.size();
+      quant_bits_ = std::min<unsigned>(
+          64, util::ilog2_ceil(std::max<std::size_t>(pages, 1)) +
+                  cfg_.compact_extra_bits);
+      std::vector<std::uint64_t> quantized(pages);
+      for (std::size_t i = 0; i < pages; ++i)
+        quantized[i] = quantize(fences[i]);
+      ef_ = EliasFano(quantized, quant_bits_);
+      index_res_ = MemoryReservation(mach.ledger(), ef_.words());
+      index_bits_ = ef_.bits();
+    }
+  }
+
+  /// Durably records the build frontier: the cache is flushed (everything
+  /// the frontier claims must be on device BEFORE the claim), then the
+  /// next slot — seq alternates between the two, the classic superblock
+  /// discipline, so a torn slot write can only destroy the OLDER record —
+  /// is written and flushed.  Word layout:
+  ///   [0] magic          [1] seq            [2] phase
+  ///   [3] records_done   [4] payload_words  [5] log_pages_done
+  ///   [6] max_value_words [7] machine write clock  [8] records_total
+  ///   [9] FNV-1a checksum of words 0..8
+  void commit_manifest(std::uint64_t phase, std::uint64_t records_done,
+                       std::uint64_t words_done) {
+    Machine& mach = *mach_;
+    mach.flush_cache();
+    ++manifest_seq_;
+    std::uint64_t w[kManifestWords] = {};
+    w[0] = kManifestMagic;
+    w[1] = manifest_seq_;
+    w[2] = phase;
+    w[3] = records_done;
+    w[4] = words_done;
+    w[5] = mach.n_of(static_cast<std::size_t>(records_done));
+    w[6] = max_value_words_;
+    w[7] = mach.stats().writes;
+    w[8] = records_;
+    w[9] = fault_checksum(w, sizeof(std::uint64_t) * (kManifestWords - 1));
+    const std::size_t B = mach.B();
+    const std::size_t sb = manifest_slot_blocks();
+    const std::size_t base = static_cast<std::size_t>(manifest_seq_ % 2) * sb;
+    Buffer<std::uint64_t> buf(mach, B);
+    for (std::size_t j = 0; j < sb; ++j) {
+      for (std::size_t k = 0; k < B; ++k) {
+        const std::size_t wi = j * B + k;
+        buf[k] = wi < kManifestWords ? w[wi] : 0;
+      }
+      manifest_.write_block(base + j,
+                            std::span<const std::uint64_t>(buf.data(), B));
+    }
+    mach.flush_cache();
+  }
+
+  /// Reads one manifest slot (charged) and validates magic, checksum, and
+  /// shape; an unwritten or torn slot decodes as !valid.
+  Manifest read_manifest_slot(std::size_t slot, std::uint64_t& reads) {
+    Machine& mach = *mach_;
+    const std::size_t B = mach.B();
+    const std::size_t sb = manifest_slot_blocks();
+    std::uint64_t w[kManifestWords] = {};
+    Buffer<std::uint64_t> buf(mach, B);
+    for (std::size_t j = 0; j < sb; ++j) {
+      manifest_.read_block(slot * sb + j, buf.span());
+      ++reads;
+      for (std::size_t k = 0; k < B && j * B + k < kManifestWords; ++k)
+        w[j * B + k] = buf[k];
+    }
+    Manifest m;
+    if (w[0] != kManifestMagic ||
+        w[9] != fault_checksum(w, sizeof(std::uint64_t) *
+                                      (kManifestWords - 1)) ||
+        w[2] < kPhaseSorted || w[2] > kPhaseCommitted || w[8] != records_)
+      return m;
+    m.valid = true;
+    m.seq = w[1];
+    m.phase = w[2];
+    m.records_done = w[3];
+    m.words_done = w[4];
+    m.pages_done = w[5];
+    m.max_value_words = w[6];
+    m.writes_at_commit = w[7];
+    m.records_total = w[8];
+    return m;
+  }
+
+  /// Rebuilds fence keys for log pages [0, pages) by reading each page —
+  /// the charged detection scan of recovery.
+  void rescan_fences(std::size_t pages, std::vector<std::uint64_t>& fences,
+                     std::uint64_t& reads) {
+    Buffer<Slot> page(*mach_, mach_->B());
+    for (std::size_t bi = 0; bi < pages; ++bi) {
+      log_.read_block(bi, page.span());
+      ++reads;
+      fences.push_back(page[0].key);
+    }
   }
 
   /// Largest page whose fence (first key) is <= key, leaving that page's
@@ -468,6 +817,11 @@ class KvStore {
   ExtArray<std::uint64_t> payload_;
   std::uint64_t payload_words_ = 0;
   std::uint64_t max_value_words_ = 0;
+
+  // Durable-build state (cfg_.manifest_interval > 0 only).
+  ExtArray<std::uint64_t> manifest_;  // two alternating superblock slots
+  ExtArray<Slot> sorted_;  // kept until commit so recover() can resume
+  std::uint64_t manifest_seq_ = 0;
 
   // Serving index (one of the two, per cfg_.index), charged for the store's
   // lifetime.

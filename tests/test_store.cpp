@@ -288,6 +288,83 @@ TEST(KvStoreTest, EmptyAndSingleRecord) {
   }
 }
 
+TEST(KvStoreTest, EmptyStoreGetChargesNothingAndInvertedScanIsFree) {
+  for (IndexKind kind : {IndexKind::kFence, IndexKind::kCompact}) {
+    Machine mach(cfg(4096, 16, 4));
+    ExtArray<Slot> none(mach, 0, "input.slots");
+    ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+    KvStore kv(mach, StoreConfig{kind, 8});
+    kv.build(none, nopay);
+
+    const IoStats before = mach.stats();
+    EXPECT_FALSE(kv.get(0).has_value());
+    EXPECT_FALSE(kv.get(~0ull).has_value());
+    // An empty store has no page that could hold any key: the miss must be
+    // decided from the (resident) index alone, with zero charged I/O.
+    EXPECT_EQ(mach.stats(), before);
+
+    // lo > hi is an empty range, not an error — and also free.
+    std::size_t visited = 0;
+    EXPECT_EQ(kv.scan(10, 5, [&](auto, auto) { ++visited; }), 0u);
+    EXPECT_EQ(visited, 0u);
+    EXPECT_EQ(mach.stats(), before);
+  }
+}
+
+TEST(KvStoreTest, InvertedScanRangeVisitsNothingOnPopulatedStore) {
+  Machine mach(cfg(4096, 16, 4));
+  const std::vector<Slot> slots = {Slot{10, 1, 1}, Slot{20, 1, 2},
+                                   Slot{30, 1, 3}};
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  for (IndexKind kind : {IndexKind::kFence, IndexKind::kCompact}) {
+    KvStore kv(mach, StoreConfig{kind, 8});
+    kv.build(in, nopay);
+    std::size_t visited = 0;
+    EXPECT_EQ(kv.scan(25, 15, [&](auto, auto) { ++visited; }), 0u);
+    EXPECT_EQ(visited, 0u);
+    // Degenerate single-point ranges still work on either side.
+    EXPECT_EQ(kv.scan(20, 20, [&](auto, auto) { ++visited; }), 1u);
+    EXPECT_EQ(visited, 1u);
+  }
+}
+
+// Regression: get/scan at exactly the minimum key must not underflow the
+// locate_page(lo - 1) probe — including when the minimum key is 0, where
+// lo - 1 would wrap to 2^64 - 1 and "find" the last page.
+TEST(KvStoreTest, MinimumKeyBoundaryHasNoUnderflow) {
+  for (const std::uint64_t min_key : {0ull, 5ull}) {
+    const std::vector<Slot> slots = {Slot{min_key, 1, 100},
+                                     Slot{min_key + 7, 1, 101},
+                                     Slot{min_key + 9, 1, 102}};
+    for (IndexKind kind : {IndexKind::kFence, IndexKind::kCompact}) {
+      Machine mach(cfg(4096, 16, 4));
+      ExtArray<Slot> in(mach, slots.size(), "input.slots");
+      in.unsafe_host_fill(std::span<const Slot>(slots));
+      ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+      KvStore kv(mach, StoreConfig{kind, 8});
+      kv.build(in, nopay);
+
+      ASSERT_TRUE(kv.get(min_key).has_value()) << "min_key=" << min_key;
+      EXPECT_EQ(*kv.get(min_key), std::vector<std::uint64_t>{100});
+      std::vector<std::uint64_t> seen;
+      kv.scan(min_key, min_key + 9,
+              [&](std::uint64_t, std::span<const std::uint64_t> v) {
+                seen.push_back(v[0]);
+              });
+      EXPECT_EQ(seen, (std::vector<std::uint64_t>{100, 101, 102}));
+      // A scan FROM the minimum key (lo - 1 < every key) starts at page 0.
+      seen.clear();
+      kv.scan(min_key, min_key, [&](std::uint64_t,
+                                    std::span<const std::uint64_t> v) {
+        seen.push_back(v[0]);
+      });
+      EXPECT_EQ(seen, std::vector<std::uint64_t>{100});
+    }
+  }
+}
+
 TEST(KvStoreTest, DuplicateKeysLastInsertWins) {
   Machine mach(cfg(4096, 16, 4));
   // 100 versions of the same key interleaved with filler, then a final one.
@@ -462,7 +539,7 @@ TEST(KvStoreTest, MetricsSectionReflectsStoreState) {
   EXPECT_EQ(snap.store.scans, 1u);
   EXPECT_EQ(snap.store.scan_records, kv.records());
   const std::string j = to_json(snap);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v5\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v6\""),
             std::string::npos);
   EXPECT_NE(j.find("\"store\":{\"enabled\":true,\"index\":\"compact\""),
             std::string::npos);
