@@ -35,6 +35,8 @@
 #include "core/sharding.hpp"
 #include "sort/em_mergesort.hpp"
 #include "sort/mergesort.hpp"
+#include "store/kv_store.hpp"
+#include "traffic/engine.hpp"
 
 namespace {
 
@@ -487,6 +489,54 @@ int main(int argc, char** argv) try {
     std::cout << "reliability zero-cost guard: armed-but-unhit crash point, "
                  "backoff schedule, and outage window leave counters and "
                  "metrics byte-identical\n\n";
+  }
+
+  // Traffic zero-cost guard: constructing a TrafficEngine and running a
+  // zero-request stream must leave every charged counter — and the full
+  // metrics JSON — byte-identical to a machine no engine ever touched.
+  // Instrumenting a store for serving must be free until requests arrive.
+  {
+    auto build = [&](Machine& mach, std::vector<store::Slot>& slots_host) {
+      ExtArray<store::Slot> slots(mach, slots_host.size(), "input.slots");
+      slots.unsafe_host_fill(std::span<const store::Slot>(slots_host));
+      ExtArray<std::uint64_t> payload(mach, 0, "input.payload");
+      auto kv = std::make_unique<store::KvStore>(
+          mach, store::StoreConfig{store::IndexKind::kFence, 8});
+      kv->build(slots, payload);
+      return kv;
+    };
+    std::vector<store::Slot> slots_host;
+    util::Rng rng(io.seed + 31);
+    for (std::size_t i = 0; i < 512; ++i)
+      slots_host.push_back(store::Slot{2 * i, 1, rng.next()});
+
+    Machine bare(cfg);
+    auto bare_kv = build(bare, slots_host);
+
+    Machine engined(cfg);
+    auto engined_kv = build(engined, slots_host);
+    traffic::EngineConfig ec;
+    ec.traffic.requests = 0;
+    ec.traffic.key_space = 512;
+    ec.traffic.key_stride = 2;
+    traffic::TrafficEngine idle(*engined_kv, engined, ec, io.seed + 32);
+    idle.run();
+
+    MetricsSnapshot mb = snapshot_metrics(bare, "traffic-guard");
+    MetricsSnapshot me = snapshot_metrics(engined, "traffic-guard");
+    if (!(bare.stats() == engined.stats()) || bare.cost() != engined.cost() ||
+        to_json(mb) != to_json(me) || idle.stats().cost != 0 ||
+        idle.histogram().total() != 0) {
+      std::cerr << "FAIL: an idle TrafficEngine perturbed the machine "
+                   "(reads " << bare.stats().reads << " vs "
+                << engined.stats().reads << ", cost " << bare.cost() << " vs "
+                << engined.cost() << ", engine Q " << idle.stats().cost
+                << ")\n";
+      return 1;
+    }
+    std::cout << "traffic zero-cost guard: an idle TrafficEngine (0 "
+                 "requests) leaves counters and metrics JSON "
+                 "byte-identical\n\n";
   }
 
   // --- Merge-kernel speedup: loser tree vs the reference O(k) scan -------

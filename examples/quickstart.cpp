@@ -7,10 +7,14 @@
 // Walks through the core API: configure an (M,B,omega)-AEM machine, stage
 // an input array, run the paper's omega-aware mergesort, and read back the
 // I/O counters, the per-phase attribution, and the distance to the
-// theoretical bound.  Ends with the same sort on a fault-injected device to
-// show what the recovery layer's retries cost in Q.
+// theoretical bound.  Then the same sort on a fault-injected device (what
+// the recovery layer's retries cost in Q), behind a buffer pool, and
+// finally a KV store serving a budgeted Zipf request stream through a
+// TrafficEngine.
 #include <fstream>
 #include <iostream>
+#include <span>
+#include <vector>
 
 #include "bounds/sort_bounds.hpp"
 #include "core/ext_array.hpp"
@@ -18,6 +22,8 @@
 #include "core/machine.hpp"
 #include "core/metrics.hpp"
 #include "sort/mergesort.hpp"
+#include "store/kv_store.hpp"
+#include "traffic/engine.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -66,7 +72,7 @@ int main(int argc, char** argv) try {
     std::cout << "  " << phase << ": " << to_string(stats) << "\n";
 
   // Machine-readable form of everything above: one JSON snapshot in the
-  // aem.machine.metrics/v6 schema (same as the bench --metrics output).
+  // aem.machine.metrics/v7 schema (same as the bench --metrics output).
   if (const std::string path = cli.str("metrics", ""); !path.empty()) {
     std::ofstream os(path);
     write_json(os, snapshot_metrics(mach, "quickstart"));
@@ -172,6 +178,58 @@ int main(int argc, char** argv) try {
   }
   std::cout << "cached output identical to uncached output — the pool may "
                "only change Q, never results.\n";
+
+  // 8. Serve a request stream.  Batch programs end with one total Q; a
+  //    SERVING workload cares about the per-request distribution.  Build a
+  //    small KV store over the sorted data, then drive a deterministic
+  //    Zipf-skewed get/put stream through it with a TrafficEngine: every
+  //    request's charged Q lands in a histogram (p50/p99/p999), and a
+  //    per-window Q budget turns BudgetExceeded into admission control —
+  //    rejected requests charge nothing.  See docs/MODEL.md section 16.
+  Machine serving(cfg);
+  {
+    const std::size_t records = 1024;
+    std::vector<store::Slot> slots;
+    util::Rng rng4(42);
+    for (std::size_t i = 0; i < records; ++i)
+      slots.push_back(store::Slot{2 * i, 1, rng4.next()});
+    ExtArray<store::Slot> sslots(serving, slots.size(), "input.slots");
+    sslots.unsafe_host_fill(std::span<const store::Slot>(slots));
+    ExtArray<std::uint64_t> nopay(serving, 0, "input.payload");
+    store::KvStore kv(serving,
+                      store::StoreConfig{store::IndexKind::kFence, 8});
+    kv.build(sslots, nopay);
+
+    traffic::EngineConfig ec;
+    ec.traffic.requests = 2048;
+    ec.traffic.dist = traffic::KeyDist::kZipf;
+    ec.traffic.key_space = records;
+    ec.traffic.key_stride = 2;       // every request hits a present key
+    ec.traffic.write_fraction = 0.25;
+    ec.traffic.batch_size = 4;
+    ec.q_budget = 512;               // per-window charged-Q budget
+    ec.window_requests = 512;
+    traffic::TrafficEngine engine(kv, serving, ec, /*stream_seed=*/7);
+    engine.run();
+
+    const TrafficMetrics tm = engine.metrics_section();
+    std::cout << "\nserving a zipf request stream (25% puts, Q budget "
+              << ec.q_budget << " per " << ec.window_requests
+              << "-request window):\n"
+              << "  served : " << tm.served << " / " << tm.generated
+              << " requests (" << tm.rejected << " rejected, rate "
+              << tm.rejection_rate << ")\n"
+              << "  Q      : " << tm.cost << " charged ("
+              << engine.throughput_mille() << " served per 1000 Q)\n"
+              << "  per-request Q: p50=" << tm.q_p50 << " p99=" << tm.q_p99
+              << " p999=" << tm.q_p999 << " max=" << tm.q_max << "\n";
+    if (tm.served + tm.rejected != tm.generated) {
+      std::cerr << "FAIL: served + rejected != generated\n";
+      return 1;
+    }
+    std::cout << "admission books balance: served + rejected == generated "
+                 "— rejected batches charged nothing.\n";
+  }
   return 0;
 }
 catch (const std::exception& e) {

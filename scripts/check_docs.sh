@@ -10,7 +10,10 @@
 #   4. every aem.machine.metrics/v* schema string in the docs matches the
 #      single source of truth, MetricsSnapshot::kSchema in
 #      src/core/metrics.hpp;
-#   5. docs/ARCHITECTURE.md covers EVERY src/ subdirectory.
+#   5. docs/ARCHITECTURE.md covers EVERY src/ subdirectory;
+#   6. the serving/traffic layer is documented end to end: EXPERIMENTS.md
+#      has a T1 section, docs/MODEL.md documents the traffic metrics
+#      section, and the T1 bench binary is referenced from the docs.
 #
 # Scope: the maintained doc set (README, DESIGN, EXPERIMENTS, docs/*).
 # CHANGES.md / ISSUE.md / ROADMAP.md are historical logs and exempt.
@@ -83,9 +86,24 @@ for dir in "$REPO"/src/*/; do
     err "docs/ARCHITECTURE.md does not cover src/$name"
 done
 
+# --- 6. serving/traffic layer documented end to end --------------------------
+# A doc section can rot away entirely (deleted in a refactor) without any
+# reference above breaking; pin the load-bearing traffic docs explicitly.
+grep -qE '^## T1' "$REPO/EXPERIMENTS.md" ||
+  err "EXPERIMENTS.md has no '## T1' section for the traffic bench"
+grep -q 'Request-stream traffic' "$REPO/docs/MODEL.md" ||
+  err "docs/MODEL.md lost its request-stream traffic section"
+grep -q '"traffic"' "$REPO/docs/MODEL.md" ||
+  err "docs/MODEL.md does not document the metrics \"traffic\" section"
+grep -q 'bench_t1_traffic' "$REPO/EXPERIMENTS.md" ||
+  err "EXPERIMENTS.md does not reference bench_t1_traffic"
+grep -q 'src/traffic' "$REPO/docs/ARCHITECTURE.md" ||
+  err "docs/ARCHITECTURE.md does not cover src/traffic"
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
 echo "check_docs passed: ${#bench_refs[@]} bench binaries, ${#script_refs[@]} scripts," \
-     "${#src_refs[@]} example/tool sources, schema $schema, all src/ subdirs covered"
+     "${#src_refs[@]} example/tool sources, schema $schema, all src/ subdirs covered," \
+     "traffic layer documented"

@@ -79,6 +79,24 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   "$BUILD_DIR/bench/bench_f1_recovery" --jobs=2 > /dev/null
 echo "crash-injection pass clean (env-armed cut recovered; bench_f1_recovery guards hold)"
 
+# Traffic pass: the TrafficEngine's per-request cost deltas, histogram
+# bucketing, and admission bookkeeping sit on top of every other layer, so
+# run the traffic gtests under an env-armed fault schedule (requests must
+# survive the recovery layer's retries with the books still balancing) and
+# the T1 bench, whose serial sections arm a device outage window and whose
+# internal guards (stream identity, placement invariance, charge-nothing
+# rejections, degraded-serving cost accounting) double as asserts.
+echo "=== traffic pass (traffic tests + bench_t1_traffic under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+AEM_FAULT_RATE=0.02 AEM_FAULT_SEED=13 \
+  "$BUILD_DIR/tests/aem_tests" \
+  --gtest_filter='QHistogram*:RequestGen*:TrafficEngine*' > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_t1_traffic" --jobs=2 > /dev/null
+echo "traffic tests + bench_t1_traffic clean under ASan+UBSan"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.
@@ -102,4 +120,4 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
 echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, docs, and TSan passes)"
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, traffic, docs, and TSan passes)"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1, K1,
-# F1) and
+# F1, T1) and
 # collects CSVs plus machine-metrics JSON snapshots (schema
-# aem.machine.metrics/v6, one JSON object per line in
+# aem.machine.metrics/v7, one JSON object per line in
 # $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
@@ -59,22 +59,28 @@ SHARD_DEV_KEYS = {"name", "memory_elems", "block_elems", "write_cost",
 STORE_KEYS = {"enabled", "index", "records", "log_blocks", "payload_words",
               "payload_blocks", "index_bits", "index_bits_per_page", "gets",
               "get_hits", "get_log_reads", "get_payload_reads",
-              "max_get_log_reads", "scans", "scan_records", "build"}
+              "max_get_log_reads", "scans", "scan_records", "puts",
+              "put_hits", "put_log_reads", "put_writes", "orphaned_words",
+              "build"}
 RELIABILITY_KEYS = {"enabled", "crash_after_writes", "crashes",
                     "retry_attempts", "backoff_ios", "recovery", "outages"}
 OUTAGE_KEYS = {"name", "device", "down_at", "up_at", "down_now",
                "wait_rounds", "backoff_ios", "failed_reads", "queued_writes",
                "drained_writes", "pending_writes"}
+TRAFFIC_KEYS = {"enabled", "dist", "generated", "served", "rejected",
+                "rejection_rate", "gets", "puts", "scans", "io", "q",
+                "imbalance", "wear_horizon", "windows", "q_budget"}
 total = 0
 faulty_runs = 0
 cached_runs = 0
 sharded_runs = 0
 store_runs = 0
 reliability_runs = 0
+traffic_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v6", \
+        assert snap.get("schema") == "aem.machine.metrics/v7", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
@@ -130,6 +136,31 @@ for f in sorted(out.glob("*.metrics.jsonl")):
             assert rel["crashes"] == 0 and rel["backoff_ios"] == 0 and \
                 rel["recovery"]["scans"] == 0 and not rel["outages"], \
                 f"{f.name}:{i}: disabled reliability section has residue"
+        traffic = snap.get("traffic")
+        assert isinstance(traffic, dict) and TRAFFIC_KEYS <= traffic.keys(), \
+            f"{f.name}:{i}: malformed traffic section {traffic!r}"
+        assert {"reads", "writes", "cost"} <= traffic["io"].keys(), \
+            f"{f.name}:{i}: malformed traffic io section"
+        assert {"p50", "p99", "p999", "max", "mean"} <= \
+            traffic["q"].keys(), \
+            f"{f.name}:{i}: malformed traffic q section"
+        if traffic["enabled"]:
+            traffic_runs += 1
+            # Admission books must balance: every generated request was
+            # either served (and charged into the histogram) or rejected
+            # (and charged nothing).
+            assert traffic["served"] + traffic["rejected"] == \
+                traffic["generated"], \
+                f"{f.name}:{i}: served + rejected != generated"
+            q = traffic["q"]
+            assert q["p50"] <= q["p99"] <= q["p999"] <= q["max"], \
+                f"{f.name}:{i}: traffic Q percentiles not monotone"
+        else:
+            # The zero-cost contract: an idle traffic section reports all
+            # zeros, never residue from another run.
+            assert traffic["generated"] == 0 and \
+                traffic["io"]["cost"] == 0, \
+                f"{f.name}:{i}: disabled traffic section has residue"
         if faults["enabled"]:
             faulty_runs += 1
         total += 1
@@ -198,10 +229,26 @@ assert any(o["drained_writes"] > 0 and
            o["pending_writes"] == 0
            for s in f1_active for o in s["reliability"]["outages"]), \
     "bench_f1_recovery: no outage snapshot with fully drained writes"
+# bench_t1_traffic must have produced traffic-enabled snapshots with live
+# serving traffic, and its admission-control cells must actually have
+# exercised the per-window budget (some rejections with charged Q below the
+# open run's).
+t1 = out / "bench_t1_traffic.metrics.jsonl"
+assert t1.exists(), "bench_t1_traffic produced no metrics file"
+t1_active = [json.loads(l) for l in t1.read_text().splitlines()
+             if json.loads(l)["traffic"]["enabled"]]
+assert t1_active, "bench_t1_traffic: no traffic-enabled snapshots"
+assert all(s["traffic"]["served"] > 0 and s["traffic"]["io"]["cost"] > 0
+           for s in t1_active), \
+    "bench_t1_traffic: a traffic snapshot served nothing or charged no Q"
+assert any(s["traffic"]["rejected"] > 0 and s["traffic"]["q_budget"] > 0
+           for s in t1_active), \
+    "bench_t1_traffic: the admission budget never rejected a batch"
 print(f"validated {total} machine-metrics snapshots "
       f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled, "
       f"{sharded_runs} sharding-enabled, {store_runs} store-enabled, "
-      f"{reliability_runs} reliability-enabled) "
+      f"{reliability_runs} reliability-enabled, "
+      f"{traffic_runs} traffic-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

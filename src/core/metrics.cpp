@@ -312,6 +312,10 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << ",\"max_get_log_reads\":" << st.max_get_log_reads
        << ",\"scans\":" << st.scans
        << ",\"scan_records\":" << st.scan_records
+       << ",\"puts\":" << st.puts << ",\"put_hits\":" << st.put_hits
+       << ",\"put_log_reads\":" << st.put_log_reads
+       << ",\"put_writes\":" << st.put_writes
+       << ",\"orphaned_words\":" << st.orphaned_words
        << ",\"build\":{\"reads\":" << st.build_reads
        << ",\"writes\":" << st.build_writes
        << ",\"cost\":" << st.build_cost << "}}";
@@ -344,6 +348,26 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
          << ",\"pending_writes\":" << o.pending_writes << "}";
     }
     os << "]}";
+  }
+
+  {
+    const TrafficMetrics& tm = s.traffic;
+    os << ",\"traffic\":{\"enabled\":" << fmt_bool(tm.enabled)
+       << ",\"dist\":\"" << json_escape(tm.dist) << "\""
+       << ",\"generated\":" << tm.generated << ",\"served\":" << tm.served
+       << ",\"rejected\":" << tm.rejected
+       << ",\"rejection_rate\":" << fmt_double(tm.rejection_rate)
+       << ",\"gets\":" << tm.gets << ",\"puts\":" << tm.puts
+       << ",\"scans\":" << tm.scans
+       << ",\"io\":{\"reads\":" << tm.reads << ",\"writes\":" << tm.writes
+       << ",\"cost\":" << tm.cost << "}"
+       << ",\"q\":{\"p50\":" << tm.q_p50 << ",\"p99\":" << tm.q_p99
+       << ",\"p999\":" << tm.q_p999 << ",\"max\":" << tm.q_max
+       << ",\"mean\":" << fmt_double(tm.q_mean) << "}"
+       << ",\"imbalance\":" << fmt_double(tm.imbalance)
+       << ",\"wear_horizon\":" << tm.wear_horizon
+       << ",\"windows\":" << tm.windows << ",\"q_budget\":" << tm.q_budget
+       << "}";
   }
 
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)

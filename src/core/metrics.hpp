@@ -85,6 +85,11 @@ struct StoreMetrics {
   std::uint64_t max_get_log_reads = 0;
   std::uint64_t scans = 0;
   std::uint64_t scan_records = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t put_hits = 0;
+  std::uint64_t put_log_reads = 0;
+  std::uint64_t put_writes = 0;
+  std::uint64_t orphaned_words = 0;
   std::uint64_t build_reads = 0;
   std::uint64_t build_writes = 0;
   std::uint64_t build_cost = 0;
@@ -122,11 +127,44 @@ struct ReliabilityMetrics {
   std::vector<OutageMetrics> outages;
 };
 
+/// The v7 `traffic` section: request-stream serving figures — the generated
+/// /served/rejected identity, per-request charged-Q percentiles over the
+/// engine's fixed-bucket histogram, device-load imbalance, and the wear-out
+/// horizon.  The machine knows nothing about traffic engines, so
+/// snapshot_metrics leaves this default (`enabled == false`); benches that
+/// drive an engine attach it by hand
+/// (`snap.traffic = engine.metrics_section()`).
+struct TrafficMetrics {
+  bool enabled = false;
+  std::string dist;  // "uniform" | "zipf" | "hotset"
+  std::uint64_t generated = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;       // admission-control rejections
+  double rejection_rate = 0.0;      // rejected / generated (the SLO metric)
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t reads = 0;   // charged frontend reads across the run
+  std::uint64_t writes = 0;  // charged frontend writes across the run
+  std::uint64_t cost = 0;    // charged frontend Q across the run
+  std::uint64_t q_p50 = 0;   // per-request charged-Q percentiles
+  std::uint64_t q_p99 = 0;
+  std::uint64_t q_p999 = 0;
+  std::uint64_t q_max = 0;
+  double q_mean = 0.0;
+  double imbalance = 1.0;  // per-device served-cost max/mean (1 = even)
+  /// Stream replays until the hottest device block retires (0 = no
+  /// endurance configured or no writes observed).
+  std::uint64_t wear_horizon = 0;
+  std::uint64_t windows = 0;   // admission windows entered
+  std::uint64_t q_budget = 0;  // per-window Q budget (0 = off)
+};
+
 /// A point-in-time copy of a Machine's observable state.  Plain data: it can
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v6";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v7";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -185,6 +223,10 @@ struct MetricsSnapshot {
   // reliability (v6: crash schedule, retry/backoff, recovery bill, and
   // per-device outage rows — see ReliabilityMetrics above)
   ReliabilityMetrics reliability;
+
+  // traffic (v7: request-stream serving section, attached by the measuring
+  // bench — see TrafficMetrics above)
+  TrafficMetrics traffic;
 
   // trace
   bool trace_enabled = false;

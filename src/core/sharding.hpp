@@ -65,7 +65,7 @@ struct OutageSpec {
 };
 
 /// Degraded-serving counters of one device's outage handling (metrics
-/// reliability section, schema v6).
+/// reliability section, schema v7).
 struct OutageStats {
   std::uint64_t wait_rounds = 0;     // read retry rounds spent waiting
   std::uint64_t backoff_ios = 0;     // charged frontend poll reads

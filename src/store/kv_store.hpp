@@ -24,7 +24,7 @@
 // All I/O goes through the Machine stack — ExtArray block transfers under
 // whatever BlockCache / FaultPolicy / ShardedMachine the machine has
 // installed — and all resident index state is charged to the MemoryLedger,
-// so the metrics snapshot's `store` section (core/metrics.hpp, schema v6)
+// so the metrics snapshot's `store` section (core/metrics.hpp, schema v7)
 // reports honest figures.  Cost model: docs/MODEL.md section 14; measured
 // by bench/bench_k1_store.
 //
@@ -164,6 +164,13 @@ struct StoreStats {
   std::uint64_t max_get_log_reads = 0;  // worst single get (probe-walk length)
   std::uint64_t scans = 0;
   std::uint64_t scan_records = 0;  // records visited across all scans
+  std::uint64_t puts = 0;
+  std::uint64_t put_hits = 0;       // puts that found (and updated) their key
+  std::uint64_t put_log_reads = 0;  // log-block reads across all puts
+  std::uint64_t put_writes = 0;     // log-block writes across all puts
+  /// Payload words stranded by puts that overwrote a spilled value with an
+  /// inline one — dead weight a compacting rebuild would reclaim.
+  std::uint64_t orphaned_words = 0;
 
   friend bool operator==(const StoreStats&, const StoreStats&) = default;
 };
@@ -433,6 +440,53 @@ class KvStore {
     return value;
   }
 
+  /// In-place point update: overwrites the value of an EXISTING key with an
+  /// inline word (len 1).  This is the store's serving-time write path —
+  /// the write mix of a request stream (traffic/engine.hpp) — priced like a
+  /// read-modify-write: locate_page (the usual charged log read(s), one
+  /// under kFence), rewrite the slot host-side, write the page back (one
+  /// charged omega-write; with a block cache the write-back is deferred
+  /// like any dirty block).  Updates the LAST duplicate of the key — the
+  /// slot get() serves — keeping upsert semantics intact.  Overwriting a
+  /// spilled value strands its payload words; the orphaned_words counter
+  /// totals that dead weight, the trigger for a compacting re-build (build
+  /// a fresh store from a full scan once the orphan share justifies the
+  /// write bill; docs/MODEL.md section 16).  Returns false — charging only
+  /// the locate reads — when the key is absent: the sorted log cannot admit
+  /// new keys in place, so inserts go through a re-build by design.
+  bool put_inline(std::uint64_t key, std::uint64_t value) {
+    check_built();
+    ++stats_.puts;
+    std::uint64_t log_reads = 0;
+    const auto miss = [&]() {
+      note_put(log_reads);
+      return false;
+    };
+    if (records_ == 0) return miss();
+
+    Buffer<Slot> page(*mach_, mach_->B());
+    std::size_t count = 0;
+    const std::optional<std::size_t> located =
+        locate_page(key, page, count, log_reads);
+    if (!located) return miss();
+
+    Slot* begin = page.data();
+    Slot* end = begin + count;
+    Slot* it = std::upper_bound(
+        begin, end, key,
+        [](std::uint64_t k, const Slot& s) { return k < s.key; });
+    if (it == begin || (it - 1)->key != key) return miss();
+    Slot& hit = *(it - 1);
+    ++stats_.put_hits;
+    if (hit.len >= 2) stats_.orphaned_words += hit.len;
+    hit.len = 1;
+    hit.pos = value;
+    log_.write_block(*located, std::span<const Slot>(page.data(), count));
+    ++stats_.put_writes;
+    note_put(log_reads);
+    return true;
+  }
+
   /// Range query: visits every record with lo <= key <= hi in key order
   /// (duplicates in input order), streaming the log — and, lazily, the
   /// payload area — sequentially.  Returns the number of records visited.
@@ -505,7 +559,7 @@ class KvStore {
   const StoreStats& stats() const { return stats_; }
   void reset_stats() { stats_ = StoreStats{}; }
 
-  /// The metrics-snapshot `store` section (schema v6).  Attach it to a
+  /// The metrics-snapshot `store` section (schema v7).  Attach it to a
   /// snapshot taken from the same machine:
   ///   auto snap = snapshot_metrics(mach, label);
   ///   snap.store = store.metrics_section();
@@ -530,6 +584,11 @@ class KvStore {
     m.max_get_log_reads = stats_.max_get_log_reads;
     m.scans = stats_.scans;
     m.scan_records = stats_.scan_records;
+    m.puts = stats_.puts;
+    m.put_hits = stats_.put_hits;
+    m.put_log_reads = stats_.put_log_reads;
+    m.put_writes = stats_.put_writes;
+    m.orphaned_words = stats_.orphaned_words;
     m.build_reads = build_reads_;
     m.build_writes = build_writes_;
     m.build_cost = build_cost_;
@@ -802,6 +861,10 @@ class KvStore {
     stats_.get_log_reads += log_reads;
     if (log_reads > stats_.max_get_log_reads)
       stats_.max_get_log_reads = log_reads;
+  }
+
+  void note_put(std::uint64_t log_reads) {
+    stats_.put_log_reads += log_reads;
   }
 
   std::uint64_t quantize(std::uint64_t key) const {

@@ -539,7 +539,7 @@ TEST(KvStoreTest, MetricsSectionReflectsStoreState) {
   EXPECT_EQ(snap.store.scans, 1u);
   EXPECT_EQ(snap.store.scan_records, kv.records());
   const std::string j = to_json(snap);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v6\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v7\""),
             std::string::npos);
   EXPECT_NE(j.find("\"store\":{\"enabled\":true,\"index\":\"compact\""),
             std::string::npos);
@@ -618,6 +618,156 @@ TEST(KvStoreShardTest, FacadeInvariantAcrossPlainAndShardedMachines) {
   // Device conservation: native transfers sum to the frontend counts
   // (equal geometry: amplification 1).
   EXPECT_EQ(sharded.devices_stats().reads, sharded.stats().reads);
+  EXPECT_EQ(sharded.devices_stats().writes, sharded.stats().writes);
+}
+
+// --- put_inline (the serving write path) ---------------------------------
+
+TEST(KvStorePutTest, PutInlineChargesOneReadModifyWrite) {
+  // All-inline store, cache 0: an in-place put is exactly one log read plus
+  // one log write, Q = 1 + omega.
+  const std::uint64_t omega = 8;
+  Machine mach(cfg(4096, 16, omega));
+  util::Rng rng(51);
+  std::vector<Slot> slots;
+  for (std::size_t i = 0; i < 300; ++i)
+    slots.push_back(Slot{2 * i, 1, rng.next()});
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(in, nopay);
+
+  const IoStats before = mach.stats();
+  const std::uint64_t cost_before = mach.cost();
+  EXPECT_TRUE(kv.put_inline(100, 0xdecaf));
+  EXPECT_EQ(mach.stats().reads - before.reads, 1u);
+  EXPECT_EQ(mach.stats().writes - before.writes, 1u);
+  EXPECT_EQ(mach.cost() - cost_before, 1 + omega);
+  const auto got = kv.get(100);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, std::vector<std::uint64_t>{0xdecaf});
+
+  // An absent key charges the probe read(s) but writes nothing.
+  const IoStats miss_before = mach.stats();
+  EXPECT_FALSE(kv.put_inline(101, 1));  // odd keys are never present
+  EXPECT_EQ(mach.stats().writes, miss_before.writes);
+  EXPECT_GE(mach.stats().reads - miss_before.reads, 1u);
+
+  EXPECT_EQ(kv.stats().puts, 2u);
+  EXPECT_EQ(kv.stats().put_hits, 1u);
+  EXPECT_EQ(kv.stats().put_writes, 1u);
+  EXPECT_GE(kv.stats().put_log_reads, 2u);
+  EXPECT_EQ(kv.stats().orphaned_words, 0u);
+}
+
+TEST(KvStorePutTest, PutInlineOrphansSpilledValuesAndScansSeeTheUpdate) {
+  Machine mach(cfg(4096, 16, 8));
+  std::vector<Slot> slots;
+  std::vector<std::uint64_t> payload;
+  // Keys 0..99 (x2): key 40 spills 5 words, everything else is inline.
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (i == 20) {
+      Slot s{2 * i, 5, payload.size()};
+      for (int w = 0; w < 5; ++w) payload.push_back(1000 + w);
+      slots.push_back(s);
+    } else {
+      slots.push_back(Slot{2 * i, 1, i});
+    }
+  }
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> pay(mach, payload.size(), "input.payload");
+  pay.unsafe_host_fill(std::span<const std::uint64_t>(payload));
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(in, pay);
+
+  ASSERT_EQ(kv.get(40)->size(), 5u);
+  EXPECT_TRUE(kv.put_inline(40, 7));
+  EXPECT_EQ(kv.stats().orphaned_words, 5u);
+  EXPECT_EQ(*kv.get(40), std::vector<std::uint64_t>{7});
+
+  // Scans serve the updated record too (the log itself was rewritten).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> seen;
+  kv.scan(0, ~0ull, [&](std::uint64_t key,
+                        std::span<const std::uint64_t> value) {
+    seen[key] = std::vector<std::uint64_t>(value.begin(), value.end());
+  });
+  EXPECT_EQ(seen.at(40), std::vector<std::uint64_t>{7});
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(KvStorePutTest, PutInlineUpdatesTheLastDuplicate) {
+  // Three records share key 10; get() serves the LAST insert, so put must
+  // update that one for upsert semantics to survive.
+  Machine mach(cfg(4096, 16, 8));
+  std::vector<Slot> slots = {Slot{10, 1, 111}, Slot{4, 1, 4},
+                             Slot{10, 1, 222}, Slot{10, 1, 333},
+                             Slot{30, 1, 30}};
+  ExtArray<Slot> in(mach, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(in, nopay);
+
+  ASSERT_EQ(*kv.get(10), std::vector<std::uint64_t>{333});
+  EXPECT_TRUE(kv.put_inline(10, 444));
+  EXPECT_EQ(*kv.get(10), std::vector<std::uint64_t>{444});
+  EXPECT_EQ(*kv.get(4), std::vector<std::uint64_t>{4});
+  EXPECT_EQ(*kv.get(30), std::vector<std::uint64_t>{30});
+}
+
+TEST(KvStorePutTest, PutInlineOnEmptyStoreAndBoundaryKeys) {
+  Machine mach(cfg(4096, 16, 8));
+  ExtArray<Slot> none(mach, 0, "input.slots");
+  ExtArray<std::uint64_t> nopay(mach, 0, "input.payload");
+  KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+  kv.build(none, nopay);
+  EXPECT_FALSE(kv.put_inline(0, 1));
+  EXPECT_FALSE(kv.put_inline(~0ull, 1));
+  EXPECT_EQ(kv.stats().puts, 2u);
+  EXPECT_EQ(kv.stats().put_hits, 0u);
+  EXPECT_EQ(kv.stats().put_writes, 0u);
+
+  // A key below the whole store never touches the log.
+  Machine mach2(cfg(4096, 16, 8));
+  std::vector<Slot> slots = {Slot{100, 1, 1}, Slot{200, 1, 2}};
+  ExtArray<Slot> in(mach2, slots.size(), "input.slots");
+  in.unsafe_host_fill(std::span<const Slot>(slots));
+  ExtArray<std::uint64_t> nopay2(mach2, 0, "input.payload");
+  KvStore kv2(mach2, StoreConfig{IndexKind::kFence, 8});
+  kv2.build(in, nopay2);
+  EXPECT_FALSE(kv2.put_inline(50, 9));
+  EXPECT_TRUE(kv2.put_inline(200, 9));  // last key is reachable
+  EXPECT_EQ(*kv2.get(200), std::vector<std::uint64_t>{9});
+}
+
+TEST(KvStorePutTest, PutInlineFacadeInvariantOnShardedMachine) {
+  const Dataset d = make_dataset(400, 19);
+  auto drive = [&](Machine& mach) {
+    auto [s, p] = stage(mach, d);
+    KvStore kv(mach, StoreConfig{IndexKind::kFence, 8});
+    kv.build(s, p);
+    util::Rng rng(23);
+    std::vector<bool> hits;
+    for (int t = 0; t < 60; ++t)
+      hits.push_back(
+          kv.put_inline(d.slots[rng.below(d.slots.size())].key, rng.next()));
+    return std::pair<std::vector<bool>, store::StoreStats>(hits, kv.stats());
+  };
+  Machine plain(cfg(4096, 16, 8));
+  const auto plain_out = drive(plain);
+
+  ShardConfig sc;
+  sc.frontend = cfg(4096, 16, 8);
+  for (int i = 0; i < 4; ++i) sc.devices.push_back(cfg(4096, 16, 8));
+  ShardedMachine sharded(sc);
+  const auto shard_out = drive(sharded);
+
+  EXPECT_EQ(plain_out.first, shard_out.first);
+  EXPECT_EQ(plain_out.second, shard_out.second);
+  EXPECT_EQ(plain.stats().reads, sharded.stats().reads);
+  EXPECT_EQ(plain.stats().writes, sharded.stats().writes);
   EXPECT_EQ(sharded.devices_stats().writes, sharded.stats().writes);
 }
 
