@@ -47,6 +47,34 @@ for name in "${BENCHES[@]}"; do
   [[ $ok -eq 1 ]] && echo "OK   $name (stdout, csv, metrics byte-identical)"
 done
 
+# Batched-path phase: bench_t1_traffic settles its request batches through
+# Machine::submit (MODEL.md section 17), so its batch sizing must never leak
+# into the output.  Deeper jobs fan-out than the sweep above: 1 vs 4 vs 16.
+batched=bench_t1_traffic
+bin="$BUILD_DIR/bench/$batched"
+if [[ -x "$bin" ]]; then
+  for jobs in 1 4 16; do
+    "$bin" --jobs="$jobs" \
+           --csv="$WORK/batched.$jobs.csv" \
+           --metrics="$WORK/batched.$jobs.jsonl" \
+           > "$WORK/batched.$jobs.out"
+  done
+  ok=1
+  for jobs in 4 16; do
+    for ext in csv jsonl out; do
+      if ! cmp -s "$WORK/batched.1.$ext" "$WORK/batched.$jobs.$ext"; then
+        echo "FAIL $batched: $ext differs between --jobs=1 and --jobs=$jobs"
+        diff "$WORK/batched.1.$ext" "$WORK/batched.$jobs.$ext" | head -10 || true
+        ok=0
+        fail=1
+      fi
+    done
+  done
+  [[ $ok -eq 1 ]] && echo "OK   $batched (batched path byte-identical at --jobs=1/4/16)"
+else
+  echo "SKIP $batched 1/4/16 phase (not built)"
+fi
+
 if [[ $fail -ne 0 ]]; then
   echo "jobs-determinism check FAILED"
   exit 1

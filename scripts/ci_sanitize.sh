@@ -97,6 +97,29 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   "$BUILD_DIR/bench/bench_t1_traffic" --jobs=2 > /dev/null
 echo "traffic tests + bench_t1_traffic clean under ASan+UBSan"
 
+# Batch pass: Machine::submit's bulk_charge, the ExtArray multi-block
+# span plumbing, the cache's grouped flush runs, and the KV store's
+# chunked scan buffers all move whole spans at once — exactly where an
+# off-by-one block count or a stale scratch-vector reuse would corrupt
+# memory without failing a release-build equality check.  Run the batch
+# gtests under ASan+UBSan, then bench_t1_traffic (whose per-request
+# batches now settle through the batched engine path) and bench_m0 with
+# its batch byte-identity guards as asserts (speedup floors zeroed: a
+# sanitized build proves memory safety, not throughput).
+echo "=== batch pass (submit/search tests + bench_t1_traffic + bench_m0 guards under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/tests/aem_tests" \
+  --gtest_filter='Submit*:Eytzinger*:FastDiv*:ShardRoute*' > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_t1_traffic" --jobs=2 > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_m0_overhead" \
+  --min-speedup=0 --min-kernel-speedup=0 --min-batch-speedup=0 > /dev/null
+echo "batch pass clean (submit/search tests, bench_t1_traffic, bench_m0 byte-identity guards)"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.
@@ -120,4 +143,4 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
 echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, traffic, docs, and TSan passes)"
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, traffic, batch, docs, and TSan passes)"

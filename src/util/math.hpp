@@ -65,4 +65,69 @@ constexpr unsigned ilog_base_ceil(std::uint64_t x, std::uint64_t d) {
   return levels;
 }
 
+/// Division by a runtime-constant divisor without a hardware divide:
+/// precomputes the Granlund–Montgomery magic number once, then each
+/// div/divmod is a high multiply plus shifts.  Exact for EVERY uint64
+/// numerator (the round-up-reciprocal scheme of Hacker's Delight 10-10 /
+/// "Division by Invariant Integers using Multiplication", Figure 4.2 with
+/// the (n - t)/2 + t correction).  Powers of two reduce to a shift and
+/// divisor 1 to the identity, so hot paths pay nothing for the easy cases.
+class FastDiv64 {
+ public:
+  // __int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic quiet.
+  __extension__ typedef unsigned __int128 u128;
+
+  FastDiv64() = default;  // divisor 1 (identity)
+
+  explicit FastDiv64(std::uint64_t divisor) : d_(divisor) {
+    if (d_ == 0) throw std::invalid_argument("FastDiv64: divisor must be > 0");
+    if (d_ == 1) return;
+    if (is_pow2(d_)) {
+      shift_ = ilog2(d_);
+      return;
+    }
+    // ceil(2^(64+l) / d) - 2^64 with l = ceil(log2 d); the result fits in 64
+    // bits because 2^(l-1) < d < 2^l implies the quotient lies in
+    // [2^64, 2^65).
+    const unsigned l = ilog2_ceil(d_);
+    u128 m;
+    if (l == 64) {
+      // 2^(64+l) = 2^128 overflows u128.  d is not a power of two, so it
+      // never divides 2^128 and ceil(2^128 / d) = floor((2^128 - 1) / d) + 1.
+      m = ~static_cast<u128>(0) / d_ + 1;
+    } else {
+      const u128 num = static_cast<u128>(1) << (64 + l);
+      m = num / d_ + (num % d_ != 0 ? 1 : 0);
+    }
+    magic_ = static_cast<std::uint64_t>(m);  // low 64 bits = m - 2^64
+    shift_ = l - 1;                          // >= 1: d is not a power of two
+  }
+
+  std::uint64_t divisor() const { return d_; }
+
+  std::uint64_t div(std::uint64_t n) const {
+    if (d_ == 1) return n;
+    if (magic_ == 0) return n >> shift_;  // power of two
+    const std::uint64_t t =
+        static_cast<std::uint64_t>((static_cast<u128>(magic_) * n) >> 64);
+    return (t + ((n - t) >> 1)) >> shift_;
+  }
+
+  std::uint64_t mod(std::uint64_t n) const { return n - div(n) * d_; }
+
+  struct DivMod {
+    std::uint64_t quot = 0;
+    std::uint64_t rem = 0;
+  };
+  DivMod divmod(std::uint64_t n) const {
+    const std::uint64_t q = div(n);
+    return DivMod{q, n - q * d_};
+  }
+
+ private:
+  std::uint64_t d_ = 1;
+  std::uint64_t magic_ = 0;  // 0 = identity or power-of-two fast path
+  unsigned shift_ = 0;
+};
+
 }  // namespace aem::util

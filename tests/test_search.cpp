@@ -1,0 +1,195 @@
+// Tests for util/search (the branchless Eytzinger rank kernel) and
+// util::FastDiv64 (the divisor-reciprocal micro-optimization behind
+// ShardedMachine::route), plus a routing regression pinning route() to its
+// naive divide/modulo definition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/sharding.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/search.hpp"
+
+namespace {
+
+using namespace aem;
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+// Every query key that can change the answer for `sorted`: the elements
+// themselves, their neighbours, and the domain edges.
+std::vector<std::uint64_t> boundary_keys(
+    const std::vector<std::uint64_t>& sorted) {
+  std::vector<std::uint64_t> keys = {0, 1, kMax - 1, kMax};
+  for (std::uint64_t v : sorted) {
+    keys.push_back(v);
+    if (v > 0) keys.push_back(v - 1);
+    if (v < kMax) keys.push_back(v + 1);
+  }
+  return keys;
+}
+
+void expect_matches_sorted(const std::vector<std::uint64_t>& sorted) {
+  const util::EytzingerSearch idx(sorted);
+  ASSERT_EQ(idx.size(), sorted.size());
+  for (std::uint64_t key : boundary_keys(sorted)) {
+    ASSERT_EQ(idx.rank_upper(key), util::sorted_rank_upper(sorted, key))
+        << "n=" << sorted.size() << " key=" << key;
+  }
+}
+
+TEST(EytzingerSearchTest, MatchesUpperBoundExhaustiveSmall) {
+  // Every size through a few levels of the tree, spaced keys so each
+  // element has distinct neighbours.
+  for (std::size_t n = 0; n <= 70; ++n) {
+    std::vector<std::uint64_t> sorted;
+    for (std::size_t i = 0; i < n; ++i)
+      sorted.push_back(10 + 3 * static_cast<std::uint64_t>(i));
+    expect_matches_sorted(sorted);
+  }
+}
+
+TEST(EytzingerSearchTest, MatchesUpperBoundWithDuplicates) {
+  expect_matches_sorted({5, 5, 5, 5});
+  expect_matches_sorted({0, 0, 7, 7, 7, 9, kMax, kMax});
+  expect_matches_sorted({kMax, kMax, kMax});
+  expect_matches_sorted({0});
+  expect_matches_sorted({0, kMax});
+}
+
+TEST(EytzingerSearchTest, MatchesUpperBoundRandomLarge) {
+  util::Rng rng(2024);
+  for (std::size_t n : {513u, 1024u, 4095u}) {
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sorted.push_back(rng.next() >> 16);  // leave headroom for +1 probes
+    std::sort(sorted.begin(), sorted.end());
+    const util::EytzingerSearch idx(sorted);
+    for (int t = 0; t < 4000; ++t) {
+      const std::uint64_t key = rng.next() >> 16;
+      ASSERT_EQ(idx.rank_upper(key), util::sorted_rank_upper(sorted, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(EytzingerSearchTest, FootprintIsPaddedPerfectTree) {
+  // footprint = 2^L - 1 with L = ceil(log2(n+1)): >= n, < 2n + 2.
+  for (std::size_t n = 0; n <= 300; ++n) {
+    std::vector<std::uint64_t> sorted(n);
+    for (std::size_t i = 0; i < n; ++i)
+      sorted[i] = static_cast<std::uint64_t>(i);
+    const util::EytzingerSearch idx(sorted);
+    EXPECT_GE(idx.footprint(), n);
+    EXPECT_LT(idx.footprint(), 2 * n + 2);
+    // A perfect-tree node count.
+    EXPECT_EQ((idx.footprint() + 1) & idx.footprint(), 0u);
+  }
+}
+
+TEST(FastDiv64Test, RejectsZeroDivisor) {
+  EXPECT_THROW(util::FastDiv64(0), std::invalid_argument);
+}
+
+TEST(FastDiv64Test, ExhaustiveSmallNumerators) {
+  for (std::uint64_t d = 1; d <= 100; ++d) {
+    const util::FastDiv64 fd(d);
+    EXPECT_EQ(fd.divisor(), d);
+    for (std::uint64_t n = 0; n <= 3 * 100 + 17; ++n) {
+      ASSERT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+      ASSERT_EQ(fd.mod(n), n % d) << "n=" << n << " d=" << d;
+      const auto qr = fd.divmod(n);
+      ASSERT_EQ(qr.quot, n / d);
+      ASSERT_EQ(qr.rem, n % d);
+    }
+  }
+}
+
+TEST(FastDiv64Test, BoundaryAndRandomNumerators) {
+  util::Rng rng(77);
+  std::vector<std::uint64_t> divisors = {1, 2, 3, 5, 7, 16, 63, 64, 65, 1000,
+                                         (1ull << 32) - 1, (1ull << 32) + 1,
+                                         kMax - 1, kMax};
+  std::vector<std::uint64_t> edges = {0, 1, 2, kMax - 2, kMax - 1, kMax};
+  for (std::uint64_t d : divisors) {
+    const util::FastDiv64 fd(d);
+    for (std::uint64_t n : edges) {
+      ASSERT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+      ASSERT_EQ(fd.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    for (int t = 0; t < 5000; ++t) {
+      const std::uint64_t n = rng.next();
+      ASSERT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+// --- ShardedMachine::route regression ---------------------------------------
+
+ShardConfig shard_cfg(std::size_t devices, Placement placement,
+                      std::size_t chunk) {
+  ShardConfig sc;
+  sc.frontend.memory_elems = 1024;
+  sc.frontend.block_elems = 16;
+  sc.frontend.write_cost = 8;
+  for (std::size_t d = 0; d < devices; ++d) {
+    Config dev;
+    dev.memory_elems = 1024;
+    dev.block_elems = 16;
+    dev.write_cost = 8;
+    sc.devices.push_back(dev);
+  }
+  sc.placement = placement;
+  sc.range_chunk_blocks = chunk;
+  return sc;
+}
+
+TEST(ShardRouteTest, MatchesNaiveFormulaAndIsBijective) {
+  for (std::size_t D : {1u, 2u, 3u, 4u, 7u}) {
+    for (std::size_t chunk : {1u, 3u, 8u, 64u}) {
+      ShardedMachine rr(shard_cfg(D, Placement::kRoundRobin, chunk));
+      ShardedMachine rg(shard_cfg(D, Placement::kRange, chunk));
+      std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> seen_rr;
+      std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t> seen_rg;
+      for (std::uint64_t b = 0; b < 2000; ++b) {
+        const auto r1 = rr.route(b);
+        ASSERT_EQ(r1.device, b % D) << "b=" << b << " D=" << D;
+        ASSERT_EQ(r1.local, b / D) << "b=" << b << " D=" << D;
+        ASSERT_TRUE(seen_rr.emplace(std::make_pair(r1.device, r1.local), b)
+                        .second)
+            << "round-robin collision at b=" << b;
+
+        const auto r2 = rg.route(b);
+        const std::uint64_t c = b / chunk;
+        ASSERT_EQ(r2.device, c % D) << "b=" << b << " D=" << D;
+        ASSERT_EQ(r2.local, (c / D) * chunk + b % chunk)
+            << "b=" << b << " D=" << D << " chunk=" << chunk;
+        ASSERT_TRUE(seen_rg.emplace(std::make_pair(r2.device, r2.local), b)
+                        .second)
+            << "range collision at b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ShardRouteTest, HugeBlockIndicesStayExact) {
+  // The reciprocal path must stay exact far beyond any bench's range.
+  for (std::size_t D : {3u, 7u}) {
+    ShardedMachine m(shard_cfg(D, Placement::kRoundRobin, 64));
+    for (std::uint64_t b : {kMax, kMax - 1, kMax / 3,
+                            (std::uint64_t{1} << 53) + 12345}) {
+      const auto r = m.route(b);
+      EXPECT_EQ(r.device, b % D);
+      EXPECT_EQ(r.local, b / D);
+    }
+  }
+}
+
+}  // namespace

@@ -469,15 +469,18 @@ TEST(KvStoreTest, IndexIsChargedToLedgerAndReleasedOnDestruction) {
     auto [slots, payload] = stage(mach, d);
     KvStore fence(mach, StoreConfig{IndexKind::kFence, 8});
     fence.build(slots, payload);
-    // One fence word per log page resident for the store's lifetime.
-    EXPECT_EQ(mach.ledger().used(), baseline + fence.log_blocks());
+    // The padded Eytzinger fence layout is resident for the store's
+    // lifetime: at least one word per log page, under 2n + 1.
+    EXPECT_EQ(mach.ledger().used(), baseline + fence.index_resident_words());
+    EXPECT_GE(fence.index_resident_words(), fence.log_blocks());
+    EXPECT_LT(fence.index_resident_words(), 2 * fence.log_blocks() + 2);
 
     KvStore compact(mach, StoreConfig{IndexKind::kCompact, 8});
     compact.build(slots, payload);
-    EXPECT_GT(mach.ledger().used(), baseline + fence.log_blocks());
-    // The compact structure occupies fewer words than the fence array.
-    EXPECT_LT(mach.ledger().used() - baseline - fence.log_blocks(),
-              fence.log_blocks());
+    EXPECT_EQ(mach.ledger().used(), baseline + fence.index_resident_words() +
+                                        compact.index_resident_words());
+    // The compact structure occupies fewer words than one fence per page.
+    EXPECT_LT(compact.index_resident_words(), fence.log_blocks());
   }
   EXPECT_EQ(mach.ledger().used(), baseline);
   EXPECT_FALSE(mach.ledger_poisoned());

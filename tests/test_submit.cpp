@@ -1,0 +1,417 @@
+// Tests for Machine::submit, the io_uring-shaped batched submission path
+// (docs/MODEL.md section 17): byte-identity of counters / phases / wear /
+// trace with the per-op hooks, completion tickets, per-op degradation under
+// armed crash points and fault injection, all-or-nothing ceiling admission,
+// the sharded per-device batch routing, the batched cache flush, and the
+// batch-aware Writer / KvStore bulk paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ext_array.hpp"
+#include "core/faults.hpp"
+#include "core/machine.hpp"
+#include "core/metrics.hpp"
+#include "core/sharding.hpp"
+#include "core/trace.hpp"
+#include "io/writer.hpp"
+#include "store/kv_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aem;
+
+Config cfg(std::size_t M = 1024, std::size_t B = 16, std::uint64_t w = 8) {
+  Config c;
+  c.memory_elems = M;
+  c.block_elems = B;
+  c.write_cost = w;
+  return c;
+}
+
+// A mixed read/write batch over two arrays with repeated blocks (so wear
+// histograms see concentration, not just coverage).
+std::vector<BlockOp> mixed_ops(std::size_t n) {
+  std::vector<BlockOp> ops;
+  for (std::size_t i = 0; i < n; ++i) {
+    const OpKind kind = (i % 3 == 2) ? OpKind::kWrite : OpKind::kRead;
+    ops.push_back(BlockOp{kind, static_cast<std::uint32_t>(i % 2),
+                          static_cast<std::uint64_t>(i % 7)});
+  }
+  return ops;
+}
+
+void replay_per_op(Machine& m, const std::vector<BlockOp>& ops,
+                   std::vector<IoTicket>* tickets = nullptr) {
+  for (const BlockOp& op : ops) {
+    const IoTicket t = op.kind == OpKind::kWrite ? m.on_write(op.array, op.block)
+                                                 : m.on_read(op.array, op.block);
+    if (tickets != nullptr) tickets->push_back(t);
+  }
+}
+
+void expect_same_traces(const Trace* a, const Trace* b) {
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->op(i).kind, b->op(i).kind) << "op " << i;
+    EXPECT_EQ(a->op(i).array, b->op(i).array) << "op " << i;
+    EXPECT_EQ(a->op(i).block, b->op(i).block) << "op " << i;
+  }
+}
+
+TEST(SubmitTest, MatchesPerOpCountersPhasesWearTraceAndTickets) {
+  Machine per_op(cfg());
+  Machine batched(cfg());
+  for (Machine* m : {&per_op, &batched}) {
+    m->register_array("a");
+    m->register_array("b");
+    m->enable_wear_tracking();
+    m->enable_trace();
+  }
+  const std::vector<BlockOp> ops = mixed_ops(100);
+
+  std::vector<IoTicket> per_tickets;
+  std::vector<IoTicket> batch_tickets(ops.size());
+  {
+    auto outer = per_op.phase("outer");
+    auto inner = per_op.phase("inner");
+    replay_per_op(per_op, ops, &per_tickets);
+  }
+  {
+    auto outer = batched.phase("outer");
+    auto inner = batched.phase("inner");
+    batched.submit(ops, batch_tickets);
+  }
+
+  EXPECT_EQ(per_op.stats(), batched.stats());
+  EXPECT_EQ(per_op.cost(), batched.cost());
+  EXPECT_EQ(per_op.phase_stats(), batched.phase_stats());
+  const auto w1 = per_op.wear_stats();
+  const auto w2 = batched.wear_stats();
+  EXPECT_EQ(w1.blocks_written, w2.blocks_written);
+  EXPECT_EQ(w1.max_writes, w2.max_writes);
+  EXPECT_DOUBLE_EQ(w1.mean_writes, w2.mean_writes);
+  expect_same_traces(per_op.trace(), batched.trace());
+  ASSERT_EQ(per_tickets.size(), batch_tickets.size());
+  for (std::size_t i = 0; i < per_tickets.size(); ++i) {
+    EXPECT_TRUE(batch_tickets[i].valid());
+    EXPECT_EQ(per_tickets[i].index, batch_tickets[i].index) << "ticket " << i;
+  }
+}
+
+TEST(SubmitTest, EmptyBatchChargesNothingAndBadTicketsThrow) {
+  Machine m(cfg());
+  m.register_array("a");
+  m.submit({});
+  EXPECT_EQ(m.stats().total_ios(), 0u);
+
+  const std::vector<BlockOp> ops = mixed_ops(4);
+  std::vector<IoTicket> wrong(3);
+  EXPECT_THROW(m.submit(ops, wrong), std::invalid_argument);
+  EXPECT_EQ(m.stats().total_ios(), 0u);  // rejected before any charge
+}
+
+TEST(SubmitTest, TicketsInvalidWhenNotTracing) {
+  Machine m(cfg());
+  m.register_array("a");
+  const std::vector<BlockOp> ops = mixed_ops(8);
+  std::vector<IoTicket> tickets(ops.size());
+  tickets[0].index = 7;  // stale garbage must be overwritten
+  m.submit(ops, tickets);
+  for (const IoTicket& t : tickets) EXPECT_FALSE(t.valid());
+}
+
+TEST(SubmitTest, CrashFiresOnExactNthChargedWriteInsideBatch) {
+  // The armed power cut lands mid-batch: the batch must degrade to the
+  // per-op loop so CrashError fires on exactly the same charged write as
+  // the historical path, with every op before it charged and none after.
+  FaultConfig fc;
+  fc.crash_after_writes = 5;
+
+  Machine per_op(cfg());
+  Machine batched(cfg());
+  const std::vector<BlockOp> ops = mixed_ops(40);  // writes at i % 3 == 2
+  for (Machine* m : {&per_op, &batched}) {
+    m->register_array("a");
+    m->register_array("b");
+    m->install_faults(fc);
+  }
+  EXPECT_THROW(replay_per_op(per_op, ops), CrashError);
+  const IoStats per_at_crash = per_op.stats();
+  EXPECT_THROW(batched.submit(ops), CrashError);
+  const IoStats batch_at_crash = batched.stats();
+
+  EXPECT_EQ(per_at_crash, batch_at_crash);
+  EXPECT_EQ(batch_at_crash.writes, fc.crash_after_writes);
+
+  // One-shot: the fired crash point stays disarmed, so the remaining ops
+  // can be resubmitted — and then they bulk-charge cleanly.
+  EXPECT_NO_THROW(per_op.submit(ops));
+  EXPECT_NO_THROW(batched.submit(ops));
+  EXPECT_EQ(per_op.stats(), batched.stats());
+}
+
+TEST(SubmitTest, CrashBeyondBatchStaysArmedAndBulk) {
+  FaultConfig fc;
+  fc.crash_after_writes = 1000;
+  Machine m(cfg());
+  m.register_array("a");
+  m.register_array("b");
+  m.install_faults(fc);
+  const std::vector<BlockOp> ops = mixed_ops(30);
+  EXPECT_NO_THROW(m.submit(ops));
+  EXPECT_TRUE(m.faults()->crash_armed());
+}
+
+TEST(SubmitTest, CeilingRejectsWholeBatchWithoutPartialCharges) {
+  // All-or-nothing admission: a batch whose projected total crosses the
+  // ceiling throws BudgetExceeded BEFORE any op is charged (the per-op
+  // path would charge up to and including the crossing op — the one
+  // documented divergence).
+  for (const bool use_cost_ceiling : {true, false}) {
+    FaultConfig fc;
+    if (use_cost_ceiling) {
+      fc.max_cost = 50;  // 20 reads + 10 writes at omega 8 = 100 > 50
+    } else {
+      fc.max_ios = 25;
+    }
+    Machine m(cfg());
+    m.register_array("a");
+    m.register_array("b");
+    m.install_faults(fc);
+    const std::vector<BlockOp> ops = mixed_ops(30);
+    EXPECT_THROW(m.submit(ops), BudgetExceeded);
+    EXPECT_EQ(m.stats().total_ios(), 0u) << "cost=" << use_cost_ceiling;
+
+    // A batch that fits is admitted and charged in full.
+    const std::vector<BlockOp> small = mixed_ops(6);
+    EXPECT_NO_THROW(m.submit(small));
+    EXPECT_EQ(m.stats().total_ios(), 6u);
+  }
+}
+
+TEST(SubmitTest, ExtArrayBulkReadsWritesMatchPerBlock) {
+  // read_blocks/write_blocks on a plain machine must be byte-identical to
+  // the per-block loops, including trace op order and atom annotations.
+  Machine a(cfg());
+  Machine b(cfg());
+  a.enable_trace();
+  b.enable_trace();
+  ExtArray<std::uint64_t> arr_a(a, 160, "arr");
+  ExtArray<std::uint64_t> arr_b(b, 160, "arr");
+  std::vector<std::uint64_t> src(160);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = 1000 + i;
+
+  std::size_t off = 0;
+  for (std::uint64_t bi = 0; bi < 10; ++bi) {
+    const std::size_t count = arr_a.block_elems(bi);
+    arr_a.write_block(bi, std::span<const std::uint64_t>(&src[off], count));
+    off += count;
+  }
+  arr_b.write_blocks(0, 10, std::span<const std::uint64_t>(src));
+
+  std::vector<std::uint64_t> got_a(160);
+  std::vector<std::uint64_t> got_b(160);
+  off = 0;
+  for (std::uint64_t bi = 0; bi < 10; ++bi)
+    off += arr_a.read_block(bi, std::span<std::uint64_t>(got_a).subspan(off))
+               .count;
+  arr_b.read_blocks(0, 10, std::span<std::uint64_t>(got_b));
+
+  EXPECT_EQ(got_a, got_b);
+  EXPECT_EQ(got_b, src);
+  EXPECT_EQ(a.stats(), b.stats());
+  expect_same_traces(a.trace(), b.trace());
+}
+
+TEST(SubmitTest, ExtArrayBulkDegradesPerBlockUnderInjectedFaults) {
+  // With an injecting fault schedule the bulk entry points must take the
+  // per-block loop, so retries/verifies consume the SAME deterministic
+  // fault stream as the historical path.
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.read_fault_rate = 0.2;
+  Machine a(cfg());
+  Machine b(cfg());
+  a.install_faults(fc);
+  b.install_faults(fc);
+  ExtArray<std::uint64_t> arr_a(a, 160, "arr");
+  ExtArray<std::uint64_t> arr_b(b, 160, "arr");
+
+  std::vector<std::uint64_t> got_a(160);
+  std::vector<std::uint64_t> got_b(160);
+  std::size_t off = 0;
+  for (std::uint64_t bi = 0; bi < 10; ++bi)
+    off += arr_a.read_block(bi, std::span<std::uint64_t>(got_a).subspan(off))
+               .count;
+  arr_b.read_blocks(0, 10, std::span<std::uint64_t>(got_b));
+
+  EXPECT_EQ(got_a, got_b);
+  EXPECT_EQ(a.stats(), b.stats());
+  EXPECT_EQ(a.faults()->stats(), b.faults()->stats());
+}
+
+ShardConfig shard_cfg(std::size_t devices, std::size_t dev_block = 16) {
+  ShardConfig sc;
+  sc.frontend.memory_elems = 1024;
+  sc.frontend.block_elems = 16;
+  sc.frontend.write_cost = 8;
+  for (std::size_t d = 0; d < devices; ++d) {
+    Config dev;
+    dev.memory_elems = 1024;
+    dev.block_elems = dev_block;
+    dev.write_cost = 8;
+    sc.devices.push_back(dev);
+  }
+  return sc;
+}
+
+TEST(SubmitTest, ShardedBatchMatchesPerOpOnEveryDevice) {
+  for (const std::size_t dev_block : {16u, 4u}) {  // amp 1 and amp 4
+    ShardedMachine per_op(shard_cfg(3, dev_block));
+    ShardedMachine batched(shard_cfg(3, dev_block));
+    const std::vector<BlockOp> ops = mixed_ops(120);
+    for (ShardedMachine* m : {&per_op, &batched}) {
+      m->register_array("a");
+      m->register_array("b");
+      m->enable_trace();
+      m->enable_device_wear_tracking();
+    }
+    replay_per_op(per_op, ops);
+    batched.submit(ops);
+
+    EXPECT_EQ(per_op.stats(), batched.stats());
+    expect_same_traces(per_op.trace(), batched.trace());
+    EXPECT_EQ(per_op.devices_stats(), batched.devices_stats());
+    EXPECT_EQ(per_op.devices_cost(), batched.devices_cost());
+    EXPECT_DOUBLE_EQ(per_op.wear_spread(), batched.wear_spread());
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(per_op.device(d).stats(), batched.device(d).stats())
+          << "device " << d << " dev_block " << dev_block;
+      const auto w1 = per_op.device(d).wear_stats();
+      const auto w2 = batched.device(d).wear_stats();
+      EXPECT_EQ(w1.blocks_written, w2.blocks_written);
+      EXPECT_EQ(w1.max_writes, w2.max_writes);
+    }
+  }
+}
+
+TEST(SubmitTest, ShardedOutageWindowDegradesToPerOpPath) {
+  ShardConfig sc_a = shard_cfg(2);
+  sc_a.outages.push_back(OutageSpec{1, 3, 20});
+  ShardConfig sc_b = sc_a;
+  ShardedMachine per_op(sc_a);
+  ShardedMachine batched(sc_b);
+  const std::vector<BlockOp> ops = mixed_ops(40);
+  for (ShardedMachine* m : {&per_op, &batched}) {
+    m->register_array("a");
+    m->register_array("b");
+  }
+  replay_per_op(per_op, ops);
+  batched.submit(ops);
+
+  EXPECT_EQ(per_op.stats(), batched.stats());
+  EXPECT_EQ(per_op.devices_stats(), batched.devices_stats());
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(per_op.outage_stats(d), batched.outage_stats(d)) << "dev " << d;
+    EXPECT_EQ(per_op.pending_writes(d), batched.pending_writes(d));
+  }
+}
+
+TEST(SubmitTest, CacheFlushBatchesIdenticallyToPerBlockFlush) {
+  // The grouped flush hands per-array runs to ExtArray's batch sink; with a
+  // zero-rate fault policy installed the sink degrades to the per-block
+  // loop.  Both machines must end with identical charges and clean pools.
+  Config plain = cfg();
+  plain.cache.capacity_blocks = 8;
+  Config guarded = plain;
+  Machine batched(plain);
+  Machine per_block(guarded);
+  per_block.install_faults(FaultConfig{});  // zero rates: only a path toggle
+  for (Machine* m : {&batched, &per_block}) {
+    ExtArray<std::uint64_t> arr(*m, 320, "arr");
+    std::vector<std::uint64_t> block(16, 7);
+    for (std::uint64_t bi = 0; bi < 20; ++bi)
+      arr.write_block(bi, std::span<const std::uint64_t>(block));
+    m->flush_cache();
+    EXPECT_EQ(m->cache()->resident_dirty(), 0u);
+  }
+  EXPECT_EQ(batched.stats(), per_block.stats());
+  EXPECT_EQ(batched.cache()->stats().write_backs,
+            per_block.cache()->stats().write_backs);
+}
+
+TEST(SubmitTest, BatchedWriterMatchesLegacyWriter) {
+  for (const std::size_t batch : {2u, 4u, 7u}) {
+    Machine legacy(cfg());
+    Machine batched(cfg());
+    ExtArray<std::uint64_t> arr_l(legacy, 250, "arr");  // terminal partial
+    ExtArray<std::uint64_t> arr_b(batched, 250, "arr");
+    Writer<std::uint64_t> w_l(arr_l);
+    Writer<std::uint64_t> w_b(arr_b, 0, Writer<std::uint64_t>::npos, batch);
+    for (std::uint64_t i = 0; i < 250; ++i) {
+      w_l.push(i * 3);
+      w_b.push(i * 3);
+    }
+    w_l.finish();
+    w_b.finish();
+    EXPECT_EQ(legacy.stats(), batched.stats()) << "batch " << batch;
+
+    std::vector<std::uint64_t> got_l(250);
+    std::vector<std::uint64_t> got_b(250);
+    arr_l.read_blocks(0, arr_l.blocks(), std::span<std::uint64_t>(got_l));
+    arr_b.read_blocks(0, arr_b.blocks(), std::span<std::uint64_t>(got_b));
+    EXPECT_EQ(got_l, got_b);
+  }
+}
+
+TEST(SubmitTest, KvStoreBatchedBuildAndScanMatchLegacyCharges) {
+  using namespace aem::store;
+  util::Rng rng(5);
+  std::vector<Slot> recs;
+  for (int i = 0; i < 900; ++i)
+    recs.push_back(Slot{rng.next() >> 40, 1, rng.next()});
+
+  auto run = [&](std::size_t io_batch) {
+    Machine mach(cfg(4096, 16, 8));
+    ExtArray<Slot> slots(mach, recs.size(), "in");
+    slots.unsafe_host_fill(std::span<const Slot>(recs));
+    ExtArray<std::uint64_t> payload(mach, 1, "pay");
+    StoreConfig sc;
+    sc.io_batch_blocks = io_batch;
+    KvStore kv(mach, sc);
+    kv.build(slots, payload);
+
+    struct Result {
+      std::uint64_t build_reads, build_writes, build_cost;
+      std::size_t scanned;
+      std::uint64_t scan_keysum;
+      IoStats after_scan;
+    } r{};
+    r.build_reads = kv.build_reads();
+    r.build_writes = kv.build_writes();
+    r.build_cost = kv.build_cost();
+    r.scan_keysum = 0;
+    r.scanned = kv.scan(
+        1ull << 20, 1ull << 23,
+        [&](std::uint64_t key, std::span<const std::uint64_t> value) {
+          r.scan_keysum += key + value.size();
+        });
+    // And a full scan plus an empty one, so the page-q edge paths run.
+    kv.scan(0, ~std::uint64_t{0}, [](std::uint64_t, auto) {});
+    kv.scan(~std::uint64_t{0}, ~std::uint64_t{0}, [](std::uint64_t, auto) {});
+    r.after_scan = mach.stats();
+    return std::tuple{r.build_reads, r.build_writes, r.build_cost, r.scanned,
+                      r.scan_keysum, r.after_scan.reads, r.after_scan.writes};
+  };
+
+  const auto legacy = run(1);
+  const auto batched = run(8);
+  EXPECT_EQ(legacy, batched);
+}
+
+}  // namespace
