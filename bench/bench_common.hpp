@@ -110,7 +110,7 @@ inline void emit(const util::Table& t, const std::string& title,
 }
 
 /// Appends one already-taken metrics snapshot (one line, schema
-/// aem.machine.metrics/v7) to `path` through the sink.  No-op when `path`
+/// aem.machine.metrics/v8) to `path` through the sink.  No-op when `path`
 /// is empty, so benches can call it unconditionally and let --metrics=FILE
 /// opt in.
 inline void append_metrics(const MetricsSnapshot& snap,

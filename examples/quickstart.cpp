@@ -72,7 +72,7 @@ int main(int argc, char** argv) try {
     std::cout << "  " << phase << ": " << to_string(stats) << "\n";
 
   // Machine-readable form of everything above: one JSON snapshot in the
-  // aem.machine.metrics/v7 schema (same as the bench --metrics output).
+  // aem.machine.metrics/v8 schema (same as the bench --metrics output).
   if (const std::string path = cli.str("metrics", ""); !path.empty()) {
     std::ofstream os(path);
     write_json(os, snapshot_metrics(mach, "quickstart"));

@@ -13,7 +13,11 @@
 #   5. docs/ARCHITECTURE.md covers EVERY src/ subdirectory;
 #   6. the serving/traffic layer is documented end to end: EXPERIMENTS.md
 #      has a T1 section, docs/MODEL.md documents the traffic metrics
-#      section, and the T1 bench binary is referenced from the docs.
+#      section, and the T1 bench binary is referenced from the docs;
+#   7. the low-write suite is documented end to end: EXPERIMENTS.md has a
+#      W1 section, docs/MODEL.md documents the low-write cost model and the
+#      metrics "lowwrite" section, and ARCHITECTURE.md covers the suite's
+#      code paths.
 #
 # Scope: the maintained doc set (README, DESIGN, EXPERIMENTS, docs/*).
 # CHANGES.md / ISSUE.md / ROADMAP.md are historical logs and exempt.
@@ -100,10 +104,22 @@ grep -q 'bench_t1_traffic' "$REPO/EXPERIMENTS.md" ||
 grep -q 'src/traffic' "$REPO/docs/ARCHITECTURE.md" ||
   err "docs/ARCHITECTURE.md does not cover src/traffic"
 
+# --- 7. low-write suite documented end to end --------------------------------
+grep -qE '^## W1' "$REPO/EXPERIMENTS.md" ||
+  err "EXPERIMENTS.md has no '## W1' section for the low-write bench"
+grep -q 'Low-write' "$REPO/docs/MODEL.md" ||
+  err "docs/MODEL.md lost its low-write suite section"
+grep -q '"lowwrite"' "$REPO/docs/MODEL.md" ||
+  err "docs/MODEL.md does not document the metrics \"lowwrite\" section"
+grep -q 'bench_w1_lowwrite' "$REPO/EXPERIMENTS.md" ||
+  err "EXPERIMENTS.md does not reference bench_w1_lowwrite"
+grep -q 'lowwrite_samplesort' "$REPO/docs/ARCHITECTURE.md" ||
+  err "docs/ARCHITECTURE.md does not cover the low-write samplesort path"
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
 echo "check_docs passed: ${#bench_refs[@]} bench binaries, ${#script_refs[@]} scripts," \
      "${#src_refs[@]} example/tool sources, schema $schema, all src/ subdirs covered," \
-     "traffic layer documented"
+     "traffic layer documented, low-write suite documented"

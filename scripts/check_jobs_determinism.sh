@@ -16,7 +16,8 @@ BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
   BENCHES=(bench_e1_merge bench_e3_sort_shootout bench_e5_crossover
            bench_e8_counting bench_r1_faults bench_c1_cache bench_s1_shard
-           bench_k1_store bench_f1_recovery bench_t1_traffic)
+           bench_k1_store bench_f1_recovery bench_t1_traffic
+           bench_w1_lowwrite)
 fi
 
 WORK="$(mktemp -d)"
@@ -48,32 +49,37 @@ for name in "${BENCHES[@]}"; do
 done
 
 # Batched-path phase: bench_t1_traffic settles its request batches through
-# Machine::submit (MODEL.md section 17), so its batch sizing must never leak
-# into the output.  Deeper jobs fan-out than the sweep above: 1 vs 4 vs 16.
-batched=bench_t1_traffic
-bin="$BUILD_DIR/bench/$batched"
-if [[ -x "$bin" ]]; then
+# Machine::submit (MODEL.md section 17), and bench_w1_lowwrite drives its
+# store puts through the same path (io_batch_blocks > 1), so their batch
+# sizing must never leak into the output.  Deeper jobs fan-out than the
+# sweep above: 1 vs 4 vs 16.
+for batched in bench_t1_traffic bench_w1_lowwrite; do
+  bin="$BUILD_DIR/bench/$batched"
+  if [[ ! -x "$bin" ]]; then
+    echo "SKIP $batched 1/4/16 phase (not built)"
+    continue
+  fi
   for jobs in 1 4 16; do
     "$bin" --jobs="$jobs" \
-           --csv="$WORK/batched.$jobs.csv" \
-           --metrics="$WORK/batched.$jobs.jsonl" \
-           > "$WORK/batched.$jobs.out"
+           --csv="$WORK/$batched.batched.$jobs.csv" \
+           --metrics="$WORK/$batched.batched.$jobs.jsonl" \
+           > "$WORK/$batched.batched.$jobs.out"
   done
   ok=1
   for jobs in 4 16; do
     for ext in csv jsonl out; do
-      if ! cmp -s "$WORK/batched.1.$ext" "$WORK/batched.$jobs.$ext"; then
+      if ! cmp -s "$WORK/$batched.batched.1.$ext" \
+                  "$WORK/$batched.batched.$jobs.$ext"; then
         echo "FAIL $batched: $ext differs between --jobs=1 and --jobs=$jobs"
-        diff "$WORK/batched.1.$ext" "$WORK/batched.$jobs.$ext" | head -10 || true
+        diff "$WORK/$batched.batched.1.$ext" \
+             "$WORK/$batched.batched.$jobs.$ext" | head -10 || true
         ok=0
         fail=1
       fi
     done
   done
   [[ $ok -eq 1 ]] && echo "OK   $batched (batched path byte-identical at --jobs=1/4/16)"
-else
-  echo "SKIP $batched 1/4/16 phase (not built)"
-fi
+done
 
 if [[ $fail -ne 0 ]]; then
   echo "jobs-determinism check FAILED"

@@ -120,6 +120,24 @@ UBSAN_OPTIONS="print_stacktrace=1" \
   --min-speedup=0 --min-kernel-speedup=0 --min-batch-speedup=0 > /dev/null
 echo "batch pass clean (submit/search tests, bench_t1_traffic, bench_m0 byte-identity guards)"
 
+# Low-write pass: the read-favoring samplesort's windowed distribution, the
+# buffered PQ's widened merge cascade, and the store's page-grouped batch
+# puts all juggle bounded resident sets and saturating size arithmetic —
+# exactly where a reservation-lifetime slip or an overflow-adjacent index
+# would corrupt memory while the release build's charge identities still
+# hold.  Run the low-write gtests (incl. the SortBudget saturation edges and
+# the degenerate mergesort/percentile boundary sweeps) under ASan+UBSan,
+# then bench_w1_lowwrite with its internal guards as asserts.
+echo "=== low-write pass (lowwrite tests + bench_w1_lowwrite under ASan+UBSan) ==="
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/tests/aem_tests" \
+  --gtest_filter='MulSat*:SortBudgetTest.*:LowWriteSampleSort*:BufferedPq*:KvStorePutBatch*:QHistogramTest.PercentileBoundariesPinned:MergeSortTest.DegenerateBaseBoundary:MergeSortTest.MinimumFanoutLadder' > /dev/null
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  "$BUILD_DIR/bench/bench_w1_lowwrite" --jobs=2 > /dev/null
+echo "lowwrite tests + bench_w1_lowwrite clean under ASan+UBSan"
+
 # Third pass: docs consistency.  The sanitize build compiles every bench
 # target, so the freshly built tree is exactly what the docs checker needs
 # to verify that documented binaries/scripts/schema strings are real.
@@ -143,4 +161,4 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/bench/bench_e3_sort_shootout" --jobs=4 > /dev/null
 echo "ThreadSanitizer pass clean (harness tests + bench_e3 --jobs=4 smoke)"
 
-echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, traffic, batch, docs, and TSan passes)"
+echo "sanitizer job passed (ASan + UBSan clean, incl. fault-injection, sharding, store, crash-injection, traffic, batch, low-write, docs, and TSan passes)"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table (E1-E10, A1-A2, M0, R1, C1, S1, K1,
-# F1, T1) and
+# F1, T1, W1) and
 # collects CSVs plus machine-metrics JSON snapshots (schema
-# aem.machine.metrics/v7, one JSON object per line in
+# aem.machine.metrics/v8, one JSON object per line in
 # $OUT_DIR/<bench>.metrics.jsonl).
 #
 # Usage: scripts/run_experiments.sh [build-dir] [out-dir] [--full]
@@ -70,6 +70,9 @@ OUTAGE_KEYS = {"name", "device", "down_at", "up_at", "down_now",
 TRAFFIC_KEYS = {"enabled", "dist", "generated", "served", "rejected",
                 "rejection_rate", "gets", "puts", "scans", "io", "q",
                 "imbalance", "wear_horizon", "windows", "q_budget"}
+LOWWRITE_KEYS = {"enabled", "family", "variant", "n", "io", "baseline",
+                 "wear_horizon", "baseline_wear_horizon", "absorbed_groups",
+                 "q_winner", "writes_winner"}
 total = 0
 faulty_runs = 0
 cached_runs = 0
@@ -77,10 +80,11 @@ sharded_runs = 0
 store_runs = 0
 reliability_runs = 0
 traffic_runs = 0
+lowwrite_runs = 0
 for f in sorted(out.glob("*.metrics.jsonl")):
     for i, line in enumerate(f.read_text().splitlines(), 1):
         snap = json.loads(line)
-        assert snap.get("schema") == "aem.machine.metrics/v7", \
+        assert snap.get("schema") == "aem.machine.metrics/v8", \
             f"{f.name}:{i}: unexpected schema {snap.get('schema')!r}"
         faults = snap.get("faults")
         assert isinstance(faults, dict) and FAULT_KEYS <= faults.keys(), \
@@ -161,6 +165,29 @@ for f in sorted(out.glob("*.metrics.jsonl")):
             assert traffic["generated"] == 0 and \
                 traffic["io"]["cost"] == 0, \
                 f"{f.name}:{i}: disabled traffic section has residue"
+        lowwrite = snap.get("lowwrite")
+        assert isinstance(lowwrite, dict) and \
+            LOWWRITE_KEYS <= lowwrite.keys(), \
+            f"{f.name}:{i}: malformed lowwrite section {lowwrite!r}"
+        assert {"reads", "writes", "cost"} <= lowwrite["io"].keys(), \
+            f"{f.name}:{i}: malformed lowwrite io section"
+        assert {"reads", "writes", "cost"} <= lowwrite["baseline"].keys(), \
+            f"{f.name}:{i}: malformed lowwrite baseline section"
+        if lowwrite["enabled"]:
+            lowwrite_runs += 1
+            assert lowwrite["family"] in ("sort", "pq", "puts"), \
+                f"{f.name}:{i}: unknown lowwrite family {lowwrite['family']!r}"
+            assert lowwrite["q_winner"] in ("variant", "baseline", "tie") \
+                and lowwrite["writes_winner"] in ("variant", "baseline",
+                                                  "tie"), \
+                f"{f.name}:{i}: malformed lowwrite winner verdicts"
+        else:
+            # The zero-cost contract: an idle lowwrite section reports all
+            # zeros, never residue from another run.
+            assert lowwrite["n"] == 0 and lowwrite["io"]["cost"] == 0 and \
+                lowwrite["baseline"]["cost"] == 0 and \
+                lowwrite["family"] == "", \
+                f"{f.name}:{i}: disabled lowwrite section has residue"
         if faults["enabled"]:
             faulty_runs += 1
         total += 1
@@ -244,11 +271,30 @@ assert all(s["traffic"]["served"] > 0 and s["traffic"]["io"]["cost"] > 0
 assert any(s["traffic"]["rejected"] > 0 and s["traffic"]["q_budget"] > 0
            for s in t1_active), \
     "bench_t1_traffic: the admission budget never rejected a batch"
+# bench_w1_lowwrite must have produced lowwrite-enabled snapshots covering
+# all three families, with the variant strictly winning on writes somewhere
+# (the whole point of the suite) and the puts family absorbing page groups.
+w1 = out / "bench_w1_lowwrite.metrics.jsonl"
+assert w1.exists(), "bench_w1_lowwrite produced no metrics file"
+w1_active = [json.loads(l) for l in w1.read_text().splitlines()
+             if json.loads(l)["lowwrite"]["enabled"]]
+assert w1_active, "bench_w1_lowwrite: no lowwrite-enabled snapshots"
+assert {"sort", "pq", "puts"} <= \
+    {s["lowwrite"]["family"] for s in w1_active}, \
+    "bench_w1_lowwrite: missing a suite family"
+assert any(s["lowwrite"]["writes_winner"] == "variant"
+           for s in w1_active), \
+    "bench_w1_lowwrite: no cell where the variant wins on writes"
+assert any(s["lowwrite"]["family"] == "puts" and
+           s["lowwrite"]["absorbed_groups"] > 0
+           for s in w1_active), \
+    "bench_w1_lowwrite: batched puts never absorbed a page group"
 print(f"validated {total} machine-metrics snapshots "
       f"({faulty_runs} fault-enabled, {cached_runs} cache-enabled, "
       f"{sharded_runs} sharding-enabled, {store_runs} store-enabled, "
       f"{reliability_runs} reliability-enabled, "
-      f"{traffic_runs} traffic-enabled) "
+      f"{traffic_runs} traffic-enabled, "
+      f"{lowwrite_runs} lowwrite-enabled) "
       f"across {len(list(out.glob('*.metrics.jsonl')))} files")
 EOF
 fi

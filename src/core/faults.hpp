@@ -146,7 +146,7 @@ struct RetryPolicy {
 };
 
 /// Counters of everything the fault/recovery machinery did.  Flows into the
-/// metrics snapshot (schema aem.machine.metrics/v7, docs/MODEL.md sec. 10).
+/// metrics snapshot (schema aem.machine.metrics/v8, docs/MODEL.md sec. 10).
 struct FaultStats {
   // injected faults
   std::uint64_t read_faults = 0;

@@ -370,6 +370,25 @@ void write_json(std::ostream& os, const MetricsSnapshot& s) {
        << "}";
   }
 
+  {
+    const LowwriteMetrics& lw = s.lowwrite;
+    os << ",\"lowwrite\":{\"enabled\":" << fmt_bool(lw.enabled)
+       << ",\"family\":\"" << json_escape(lw.family) << "\""
+       << ",\"variant\":\"" << json_escape(lw.variant) << "\""
+       << ",\"n\":" << lw.n
+       << ",\"io\":{\"reads\":" << lw.reads << ",\"writes\":" << lw.writes
+       << ",\"cost\":" << lw.cost << "}"
+       << ",\"baseline\":{\"reads\":" << lw.base_reads
+       << ",\"writes\":" << lw.base_writes << ",\"cost\":" << lw.base_cost
+       << "}"
+       << ",\"wear_horizon\":" << lw.wear_horizon
+       << ",\"baseline_wear_horizon\":" << lw.base_wear_horizon
+       << ",\"absorbed_groups\":" << lw.absorbed_groups
+       << ",\"q_winner\":\"" << json_escape(lw.q_winner) << "\""
+       << ",\"writes_winner\":\"" << json_escape(lw.writes_winner) << "\""
+       << "}";
+  }
+
   os << ",\"trace\":{\"enabled\":" << fmt_bool(s.trace_enabled)
      << ",\"ops\":" << s.trace_ops << "}";
 

@@ -160,11 +160,36 @@ struct TrafficMetrics {
   std::uint64_t q_budget = 0;  // per-window Q budget (0 = off)
 };
 
+/// The v8 `lowwrite` section: one low-write-suite comparison row
+/// (bench_w1_lowwrite) — the measured variant's charged I/O against its
+/// classical counterpart on the same input, the wear horizon each sustains
+/// (reruns until the hottest block reaches the configured endurance), and
+/// the put path's absorbed page-group count.  The machine knows nothing
+/// about algorithm variants, so snapshot_metrics leaves this default
+/// (`enabled == false`); the bench attaches it by hand.
+struct LowwriteMetrics {
+  bool enabled = false;
+  std::string family;   // "sort" | "pq" | "puts"
+  std::string variant;  // "samplesort_rf" | "pq_buffered" | "puts_batched"
+  std::uint64_t n = 0;  // elements sorted / stream length / put ops
+  std::uint64_t reads = 0;   // variant charged reads
+  std::uint64_t writes = 0;  // variant charged writes
+  std::uint64_t cost = 0;    // variant charged Q
+  std::uint64_t base_reads = 0;   // classical baseline, same input
+  std::uint64_t base_writes = 0;
+  std::uint64_t base_cost = 0;
+  std::uint64_t wear_horizon = 0;       // variant (0 = endurance unset)
+  std::uint64_t base_wear_horizon = 0;  // baseline
+  std::uint64_t absorbed_groups = 0;    // puts: distinct page groups touched
+  std::string q_winner;       // "variant" | "baseline" | "tie"
+  std::string writes_winner;  // same, on writes alone
+};
+
 /// A point-in-time copy of a Machine's observable state.  Plain data: it can
 /// also be filled by hand (tools/aem_trace builds one from a trace without a
 /// live machine).
 struct MetricsSnapshot {
-  static constexpr std::string_view kSchema = "aem.machine.metrics/v7";
+  static constexpr std::string_view kSchema = "aem.machine.metrics/v8";
 
   /// Free-form tag naming the measured case ("E1 N=65536 omega=16", ...).
   std::string label;
@@ -227,6 +252,10 @@ struct MetricsSnapshot {
   // traffic (v7: request-stream serving section, attached by the measuring
   // bench — see TrafficMetrics above)
   TrafficMetrics traffic;
+
+  // lowwrite (v8: low-write algorithm-suite comparison row, attached by the
+  // measuring bench — see LowwriteMetrics above)
+  LowwriteMetrics lowwrite;
 
   // trace
   bool trace_enabled = false;

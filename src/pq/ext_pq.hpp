@@ -14,19 +14,38 @@
 //    level fills, its runs are merged by the paper's Section 3 merge
 //    (merge_runs, Theorem 3.2 cost) into one run of the next level.
 //
-// Amortized cost for N pushes + N pops:
-//   writes O(n log_{m_eff}(N/M)), reads O(omega n log_{m_eff}(N/M) + refill)
-// — write-efficient like the Section 3 mergesort but with merge-tree base
-// m_eff rather than omega*m_eff: the level width is capped so that per-run
-// cursor state (one word per run) provably fits in memory.  [7]'s buffer
-// heap achieves base omega*m with a cleverer externalized structure; this
-// queue is the documented middle point (see DESIGN.md section 6), and E3's
-// ablation quantifies the difference.
+// The queue supports two tunings (PqTuning; docs/MODEL.md section 18):
 //
-// Cursor state, run bounds, and level bookkeeping are charged to the
-// ledger (one element per run); the queue throws if the run count would
-// exceed its reservation — which cannot happen while levels hold at most
-// m_eff runs and fewer than m_eff levels are in use.
+//  * kLegacy — level width m_eff.  Amortized cost for N pushes + N pops:
+//    writes O(n log_{m_eff}(N/M)), reads O(omega n log_{m_eff}(N/M) +
+//    refill).  Write-efficient like the Section 3 mergesort but with
+//    merge-tree base m_eff rather than omega*m_eff: the level width is
+//    capped so that per-run cursor state (one word per run) provably fits
+//    in memory.  Cursor state, run bounds, and level bookkeeping are
+//    charged to the ledger (one element per run); the queue throws if the
+//    run count would exceed its reservation — which cannot happen while
+//    levels hold at most m_eff runs and fewer than m_eff levels are in use.
+//
+//  * kBuffered — the [7]-style buffered heap with the paper-optimal
+//    merge-tree base: level width d = omega * m_eff (the budget fanout),
+//    so cascades are omega times rarer and total writes drop to
+//    O(n log_{omega m}(N/M)).  The price is reads: every refill seeds two
+//    blocks from EVERY resident run (up to d per level), the omega-fold
+//    read traffic the paper trades for writes.  Per-run cursors and bounds
+//    are host-side bookkeeping under the RunBounds convention of
+//    sort/merge.hpp (NOT ledger-charged); what refill actually holds
+//    resident — the min_cap_ staged candidates plus the surviving-head
+//    table — is charged, and the survivor count is provably bounded by
+//    min_cap/(2B) by the Lemma 3.1 argument (each survivor's last-fed
+//    element sits in the staged cut, so its 2B fed elements all do), which
+//    refill asserts.  A kBuffered queue whose budget fanout does not
+//    exceed m_eff (always at omega == 1) downgrades to kLegacy, so the
+//    omega = 1 buffered variant is charge-identical to the legacy queue —
+//    the identity guard of bench_w1_lowwrite.
+//
+// Both tunings keep the PR 6 fold discipline in flush_insert_buffer:
+// standing reservations are released before the fold's transient claim and
+// restored from the (unchanged) buffers on failure.
 #pragma once
 
 #include <algorithm>
@@ -46,6 +65,12 @@
 
 namespace aem {
 
+/// Merge-tree base selector for ExtPriorityQueue (see file comment).
+enum class PqTuning {
+  kLegacy,    // level width m_eff, per-run cursor state ledger-charged
+  kBuffered,  // level width omega * m_eff, host-side run bookkeeping
+};
+
 template <class T, class Less = std::less<T>>
 class ExtPriorityQueue {
  public:
@@ -54,10 +79,11 @@ class ExtPriorityQueue {
   /// a full Section 3 merge (OUT = M/4 plus transient blocks) during level
   /// cascades, under the strict ledger.
   explicit ExtPriorityQueue(Machine& mach, std::size_t capacity_hint = 0,
-                            Less less = {})
+                            Less less = {}, PqTuning tuning = PqTuning::kLegacy)
       : mach_(mach),
         less_(less),
         budget_(SortBudget::from(mach)),
+        tuning_(tuning),
         insert_cap_(std::max<std::size_t>(mach.B(), mach.M() / 8)),
         min_cap_(std::max<std::size_t>(mach.B(), mach.M() / 8)),
         insert_res_(mach.ledger(), 0),
@@ -66,9 +92,16 @@ class ExtPriorityQueue {
     if (mach.M() < 16 * mach.B())
       throw std::invalid_argument("ExtPriorityQueue requires M >= 16B");
     (void)capacity_hint;
+    // A buffered queue whose fanout brings nothing (always at omega == 1)
+    // downgrades: the two tunings coincide there, and the downgrade makes
+    // the coincidence structural rather than emergent.
+    if (tuning_ == PqTuning::kBuffered && budget_.fanout <= budget_.m_eff)
+      tuning_ = PqTuning::kLegacy;
     insert_.reserve(insert_cap_);
     levels_.resize(kMaxLevels);
   }
+
+  PqTuning tuning() const { return tuning_; }
 
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
@@ -90,11 +123,12 @@ class ExtPriorityQueue {
   }
 
   /// Ledger reservations track actual residency: an empty buffer holds no
-  /// internal memory.
+  /// internal memory.  kBuffered keeps run bookkeeping host-side (the
+  /// RunBounds convention), so only kLegacy charges per-run cursor words.
   void sync_ledger() {
     insert_res_.resize(insert_.size());
     min_res_.resize(min_cache_.size());
-    run_state_res_.resize(total_runs());
+    run_state_res_.resize(tuning_ == PqTuning::kLegacy ? total_runs() : 0);
   }
 
   /// Removes and returns the minimum.  Throws std::out_of_range if empty.
@@ -219,9 +253,16 @@ class ExtPriorityQueue {
     sync_ledger();
   }
 
+  /// Level width: the merge-tree base.  kBuffered uses the budget fanout
+  /// d = omega * m_eff (Section 3's merge handles that many runs natively);
+  /// kLegacy keeps the m_eff cap its charged cursor state requires.
+  std::size_t level_width() const {
+    return tuning_ == PqTuning::kBuffered ? budget_.fanout : budget_.m_eff;
+  }
+
   /// Merges a full level into one run of the next level (Section 3 merge).
   void cascade(std::size_t level) {
-    while (level + 1 < kMaxLevels && levels_[level].size() >= budget_.m_eff) {
+    while (level + 1 < kMaxLevels && levels_[level].size() >= level_width()) {
       auto& runs = levels_[level];
       std::size_t total = 0;
       for (const auto& r : runs) total += r.remaining();
@@ -289,6 +330,26 @@ class ExtPriorityQueue {
     };
     std::vector<RunCursor> heads;
 
+    // Survivor bound (Lemma 3.1 argument, see file comment): a head can
+    // stay a candidate for extension only while its last-fed element sits
+    // in the staged cut, which pins all >= 2B of its fed elements there
+    // too, so at most min_cap/(2B) heads survive at any moment (+1 for the
+    // run currently being seeded).  kBuffered charges this table — its
+    // resident run state — instead of the legacy one-word-per-run claim.
+    const std::size_t head_cap = min_cap_ / (2 * mach_.B()) + 1;
+    MemoryReservation heads_res(
+        mach_.ledger(), tuning_ == PqTuning::kBuffered ? head_cap : 0);
+
+    // A head is done (never active again) once fully read; it is pruned
+    // once the cut is full and its last-fed element fell out — the cut's
+    // max only decreases, so pruned heads never reactivate.
+    auto prune = [&](const RunCursor& rc) {
+      const Run& r = levels_[rc.level][rc.index];
+      if (rc.frontier >= r.length) return true;
+      return out.size() == min_cap_ &&
+             !cand_less(rc.last, *std::prev(out.end()));
+    };
+
     // Feeds [frontier, frontier + elems) of a run into `out`, advancing the
     // frontier and recording the last fed element.
     auto feed = [&](RunCursor& rc, std::size_t elems) {
@@ -313,14 +374,28 @@ class ExtPriorityQueue {
       }
     };
 
-    // Seed: two blocks per non-empty run.
+    // Seed: two blocks per non-empty run, pruning eagerly so only the
+    // bounded survivor set stays resident (identical I/O to pruning at the
+    // extend loop's top: the cut's max only decreases, so a head pruned
+    // here would have been pruned there).  An entry can also go STALE after
+    // its own seed step — a later run's smaller elements evict its fed
+    // elements from the cut — so when the table would outgrow the bound it
+    // is re-pruned first; only CURRENT survivors count against head_cap
+    // (the +1 in head_cap covers the just-pushed transient).
     for (std::size_t L = 0; L < kMaxLevels; ++L)
       for (std::size_t i = 0; i < levels_[L].size(); ++i) {
         Run& r = levels_[L][i];
         if (r.remaining() == 0) continue;
         RunCursor rc{L, i, r.cursor, {}};
         feed(rc, 2 * mach_.B());
+        if (prune(rc)) continue;
         heads.push_back(rc);
+        if (heads.size() > head_cap) {
+          std::erase_if(heads, prune);
+          if (heads.size() > head_cap)
+            throw std::logic_error(
+                "ExtPriorityQueue: refill survivor bound violated");
+        }
       }
 
     // Extend: the merge loop.  A head is active while it has unread
@@ -328,12 +403,7 @@ class ExtPriorityQueue {
     // (out not full, or last < out's max).  Inactive heads never
     // reactivate (the cut only decreases).
     while (true) {
-      std::erase_if(heads, [&](const RunCursor& rc) {
-        const Run& r = levels_[rc.level][rc.index];
-        if (rc.frontier >= r.length) return true;
-        return out.size() == min_cap_ &&
-               !cand_less(rc.last, *std::prev(out.end()));
-      });
+      std::erase_if(heads, prune);
       if (heads.empty()) break;
       auto j = std::min_element(heads.begin(), heads.end(),
                                 [&](const RunCursor& a, const RunCursor& b) {
@@ -359,6 +429,7 @@ class ExtPriorityQueue {
   Machine& mach_;
   Less less_;
   SortBudget budget_;
+  PqTuning tuning_;
   std::size_t insert_cap_;
   std::size_t min_cap_;
   MemoryReservation insert_res_;
@@ -370,13 +441,16 @@ class ExtPriorityQueue {
   std::size_t count_ = 0;
 };
 
-/// Heapsort via the external priority queue: N pushes, N pops.
+/// Heapsort via the external priority queue: N pushes, N pops.  `tuning`
+/// selects the merge-tree base (see PqTuning; kBuffered downgrades to
+/// kLegacy when the fanout brings nothing, e.g. at omega == 1).
 template <class T, class Less = std::less<T>>
-void aem_heap_sort(const ExtArray<T>& in, ExtArray<T>& out, Less less = {}) {
+void aem_heap_sort(const ExtArray<T>& in, ExtArray<T>& out, Less less = {},
+                   PqTuning tuning = PqTuning::kLegacy) {
   if (in.size() != out.size())
     throw std::invalid_argument("aem_heap_sort: size mismatch");
   Machine& mach = in.machine();
-  ExtPriorityQueue<T, Less> pq(mach, in.size(), less);
+  ExtPriorityQueue<T, Less> pq(mach, in.size(), less, tuning);
   {
     Scanner<T> scan(in);
     while (!scan.done()) pq.push(scan.next());

@@ -23,8 +23,10 @@
 // The bound covers the ARAM case B = 1 as well.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "core/machine.hpp"
 #include "util/math.hpp"
@@ -32,11 +34,19 @@
 namespace aem {
 
 struct SortBudget {
+  /// Fanout ceiling.  merge_runs refuses more than 2^31 runs per merge
+  /// group, so any d beyond that is indistinguishable from 2^31 (a group
+  /// never holds more runs than exist); clamping here keeps omega * m_eff
+  /// exact instead of letting an extreme omega (say 2^40) wrap the 64-bit
+  /// product — a wrapped fanout of 0 or 1 would violate every d >= 2
+  /// precondition downstream while looking like a legitimate budget.
+  static constexpr std::size_t kMaxFanout = std::size_t{1} << 31;
+
   std::size_t out_batch;    // merge Mout = M/4: elements staged per round
   std::size_t m_eff;        // Mout / B: max active runs (Lemma 3.1)
-  std::size_t fanout;       // d = max(2, omega * m_eff)
+  std::size_t fanout;       // d = clamp(omega * m_eff, 2, kMaxFanout)
   std::size_t small_batch;  // small-sort batch = M/2 (only OUT + two blocks)
-  std::size_t base;         // small-sort chunk size, omega * small_batch
+  std::size_t base;         // small-sort chunk, omega * small_batch (saturated)
 
   /// Throws std::invalid_argument unless M >= 8B — the smallest memory for
   /// which the merge's Mout + active table + transient blocks provably fit
@@ -50,10 +60,20 @@ struct SortBudget {
     SortBudget b;
     b.out_batch = (mach.M() / 4 / B) * B;
     b.m_eff = b.out_batch / B;
-    const std::uint64_t d = mach.omega() * static_cast<std::uint64_t>(b.m_eff);
-    b.fanout = static_cast<std::size_t>(d < 2 ? 2 : d);
+    // Saturating multiply + clamp: omega is caller-controlled and may be
+    // astronomically large, so the product must not wrap (see kMaxFanout).
+    const std::uint64_t d = util::mul_sat(mach.omega(), b.m_eff);
+    b.fanout = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(d, 2, kMaxFanout));
     b.small_batch = (mach.M() / 2 / B) * B;
-    b.base = static_cast<std::size_t>(mach.omega()) * b.small_batch;
+    // base saturates at size_t max rather than wrapping: a wrapped base of 0
+    // would spin make_chunks forever, and a small wrapped base silently
+    // misroutes inputs past the N' <= omega*M base case.  Saturation errs
+    // the safe way — everything becomes the base case, which is exactly the
+    // paper's behavior when omega*M exceeds every input size.
+    b.base = static_cast<std::size_t>(
+        std::min<std::uint64_t>(util::mul_sat(mach.omega(), b.small_batch),
+                                std::numeric_limits<std::size_t>::max()));
     return b;
   }
 };

@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -497,6 +498,88 @@ class KvStore {
     ++stats_.put_writes;
     note_put(log_reads);
     return true;
+  }
+
+  /// Write-efficient batched puts (docs/MODEL.md section 18): equivalent to
+  /// calling put_inline(key, value) for every op in order — same hits and
+  /// misses, same orphaned_words growth, same final store bytes — but K ops
+  /// landing on one log page are ABSORBED into at most one charged log read
+  /// plus one charged omega-write for the whole page group, instead of K of
+  /// each.  The ops are ordered host-side by key (stable, so equal keys
+  /// keep submission order and last-write-wins is preserved); the fence
+  /// index then decides each key's page without I/O, and the loaded page is
+  /// written back once when the group ends.  Keys preceding every stored
+  /// key miss for free, exactly like put_inline; keys missing within a read
+  /// page share that page's single read.  A batch of size 1 charges
+  /// byte-identically to put_inline.
+  ///
+  /// Page membership is only decidable host-side under the fence index;
+  /// kCompact (whose locate probes and walks) falls back to sequential
+  /// put_inline calls — the same fallback rule as the batched scan path.
+  /// Returns the number of ops that hit.
+  std::size_t put_inline_batch(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> ops) {
+    check_built();
+    std::size_t hits = 0;
+    if (cfg_.index != IndexKind::kFence) {
+      for (const auto& [key, value] : ops)
+        if (put_inline(key, value)) ++hits;
+      return hits;
+    }
+    stats_.puts += ops.size();
+    if (records_ == 0 || ops.empty()) return 0;
+
+    // Host-side op order: stable by key, so one page's group applies in
+    // submission order (first hit on a spilled slot orphans it, later hits
+    // see the inline slot; the last value wins).
+    std::vector<std::size_t> order(ops.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ops[a].first < ops[b].first;
+                     });
+
+    std::uint64_t log_reads = 0;
+    Buffer<Slot> page(*mach_, mach_->B());
+    constexpr std::size_t kNoPage = std::numeric_limits<std::size_t>::max();
+    std::size_t cur = kNoPage;  // loaded page, or kNoPage
+    std::size_t count = 0;
+    bool dirty = false;
+    const auto flush = [&]() {
+      if (!dirty) return;
+      log_.write_block(cur, std::span<const Slot>(page.data(), count));
+      ++stats_.put_writes;
+      dirty = false;
+    };
+    for (const std::size_t idx : order) {
+      const auto [key, value] = ops[idx];
+      const std::size_t r = fence_idx_.rank_upper(key);
+      if (r == 0) continue;  // precedes every stored key: uncharged miss
+      const std::size_t bi = r - 1;
+      if (bi != cur) {
+        flush();
+        count = log_.block_elems(bi);
+        log_.read_block(bi, page.span());
+        ++log_reads;  // the group's one absorbed read
+        cur = bi;
+      }
+      Slot* begin = page.data();
+      Slot* end = begin + count;
+      Slot* it = std::upper_bound(
+          begin, end, key,
+          [](std::uint64_t k, const Slot& s) { return k < s.key; });
+      if (it == begin || (it - 1)->key != key) continue;  // in-page miss
+      Slot& hit = *(it - 1);
+      ++stats_.put_hits;
+      ++hits;
+      if (hit.len >= 2) stats_.orphaned_words += hit.len;
+      hit.len = 1;
+      hit.pos = value;
+      dirty = true;
+    }
+    flush();
+    note_put(log_reads);
+    return hits;
   }
 
   /// Range query: visits every record with lo <= key <= hi in key order

@@ -25,6 +25,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace aem::traffic {
@@ -72,10 +73,23 @@ class QHistogram {
   /// Nearest-rank percentile at `permyriad`/10000 (p50 = 5000, p99 = 9900,
   /// p999 = 9990): the value of the bucket containing the sample of rank
   /// max(1, ceil(total * permyriad / 10000)), reported at the bucket floor.
-  /// 0 on an empty histogram.
+  ///
+  /// Pinned boundary behavior (tests/test_traffic.cpp asserts each):
+  ///  * empty histogram: returns the sentinel 0 for EVERY permyriad — the
+  ///    bench validators rely on disabled sections reporting all-zero
+  ///    percentiles, so this is a documented contract, not an accident;
+  ///  * permyriad = 0: the rank clamps to 1, i.e. the smallest recorded
+  ///    bucket floor (the minimum, not a 0 sentinel);
+  ///  * permyriad = 10000: the bucket floor of the maximum (max() itself
+  ///    stays exact and may be larger in the coarse range);
+  ///  * permyriad > 10000: throws std::invalid_argument.  It used to clamp
+  ///    silently, which made a caller's unit slip (e.g. passing per-cent
+  ///    9900*10) report a plausible-looking p100 instead of failing.
   std::uint64_t percentile(std::uint64_t permyriad) const {
+    if (permyriad > 10000)
+      throw std::invalid_argument(
+          "QHistogram::percentile: permyriad must be <= 10000");
     if (total_ == 0) return 0;
-    if (permyriad > 10000) permyriad = 10000;
     // ceil(total * permyriad / 10000) without a 128-bit intermediate:
     // split total = 10000*a + b, then ceil(t*p/10000) = a*p + ceil(b*p/10000)
     // and b*p < 10^8 never overflows.

@@ -43,6 +43,16 @@ constexpr unsigned ilog2_ceil(std::uint64_t x) {
 /// True if x is a power of two (x > 0).
 constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
+/// Saturating multiply: a * b, clamped to UINT64_MAX instead of wrapping.
+/// Omega-scaled parameters (fanout = omega * m_eff, base = omega * M/2) are
+/// products of two values the caller controls independently, so the product
+/// can exceed 64 bits even when each factor is reasonable; a wrapped fanout
+/// of 0 or 1 would silently break every d >= 2 precondition downstream.
+constexpr std::uint64_t mul_sat(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
 /// Integer power: base^exp, saturating at uint64 max.
 constexpr std::uint64_t ipow_sat(std::uint64_t base, unsigned exp) {
   std::uint64_t r = 1;

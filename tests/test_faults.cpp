@@ -333,7 +333,7 @@ TEST(FaultMetricsTest, V2SchemaCarriesFaultCounters) {
   EXPECT_GT(s.fault_stats.read_retries, 0u);
 
   const std::string j = to_json(s);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v7\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v8\""),
             std::string::npos);
   EXPECT_NE(j.find("\"faults\":{\"enabled\":true,\"seed\":5"),
             std::string::npos);

@@ -82,7 +82,7 @@ TEST(MetricsTest, SnapshotOfFreshMachineIsEmptyButValid) {
   EXPECT_FALSE(s.wear_enabled);
   EXPECT_FALSE(s.trace_enabled);
   const std::string j = to_json(s);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v7\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v8\""),
             std::string::npos);
   EXPECT_NE(j.find("\"phases\":[]"), std::string::npos);
   // Without an installed FaultPolicy the faults section reports defaults.
@@ -134,7 +134,7 @@ TEST(MetricsTest, JsonContainsStableSchemaAndFields) {
   const std::string j = to_json(snapshot_metrics(mach, "case-1"));
   EXPECT_EQ(j.find('\n'), std::string::npos);  // one line per snapshot
   for (const char* needle :
-       {"\"schema\":\"aem.machine.metrics/v7\"", "\"label\":\"case-1\"",
+       {"\"schema\":\"aem.machine.metrics/v8\"", "\"label\":\"case-1\"",
         "\"config\":{\"memory_elems\":64,\"block_elems\":8,\"write_cost\":4",
         "\"io\":{\"reads\":1,\"writes\":1,\"total\":2,\"cost\":5}",
         "\"name\":\"sort.merge\"", "\"ledger\":", "\"poisoned\":false",

@@ -200,8 +200,9 @@ TEST(ExtPqTest, FuzzAcrossMachineGeometries) {
 }
 
 TEST(HeapSortTest, CostComparableToMergesortAtModerateOmega) {
-  // Not an asymptotic claim (the PQ's level base is m_eff, not omega*m_eff;
-  // see the header comment) — just a sanity band: within ~8x of the
+  // Not an asymptotic claim (the default kLegacy tuning's level base is
+  // m_eff, not omega*m_eff; PqTuning::kBuffered widens it, see the header
+  // comment and test_lowwrite.cpp) — just a sanity band: within ~8x of the
   // Section 3 mergesort on a mid-size instance.
   const std::size_t N = 1 << 13, M = 256, B = 16;
   const std::uint64_t w = 8;

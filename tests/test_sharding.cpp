@@ -274,7 +274,7 @@ TEST(ShardedMachineTest, MetricsV4ShardingSection) {
   EXPECT_DOUBLE_EQ(s.sharding.wear_spread, mach.wear_spread());
 
   const std::string j = to_json(s);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v7\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v8\""),
             std::string::npos);
   EXPECT_NE(j.find("\"sharding\":{\"enabled\":true,\"placement\":\"range\""),
             std::string::npos);

@@ -340,6 +340,65 @@ TEST(MergeSortTest, SizeMismatchRejected) {
   EXPECT_THROW(aem_merge_sort(in, out), std::invalid_argument);
 }
 
+// Degenerate driver shapes: inputs at and around the small-sort base
+// (N <= base takes the one-pass path; base + 1 forces run formation and a
+// real merge) and the minimum merge fanout d = 2.
+TEST(MergeSortTest, DegenerateBaseBoundary) {
+  const std::size_t M = 128, B = 16;  // omega=1: base = M/2 = 64, fanout = 2
+  for (std::size_t n : {std::size_t{63}, std::size_t{64}}) {
+    util::Rng rng(601 + n);
+    auto keys = util::random_keys(n, rng);
+
+    Machine ms(cfg(M, B, 1));
+    auto in = stage(ms, keys);
+    ExtArray<std::uint64_t> out(ms, n, "out");
+    aem_merge_sort(in, out);
+
+    // N <= base must be EXACTLY one small_sort: same charges, same output.
+    Machine ss(cfg(M, B, 1));
+    auto in2 = stage(ss, keys);
+    ExtArray<std::uint64_t> out2(ss, n, "out");
+    small_sort(in2, 0, n, out2, 0, std::less<std::uint64_t>{});
+    EXPECT_EQ(ms.stats(), ss.stats()) << "n=" << n;
+    EXPECT_EQ(ms.cost(), ss.cost()) << "n=" << n;
+    EXPECT_EQ(out.unsafe_host_view(), out2.unsafe_host_view());
+  }
+  {
+    // One past the base: two runs, one d=2 merge round; strictly more I/O
+    // than the one-pass path but still correct.
+    const std::size_t n = 65;
+    util::Rng rng(701);
+    auto keys = util::random_keys(n, rng);
+    Machine mach(cfg(M, B, 1));
+    auto in = stage(mach, keys);
+    ExtArray<std::uint64_t> out(mach, n, "out");
+    aem_merge_sort(in, out);
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(out.unsafe_host_view(), expect);
+    EXPECT_GT(mach.stats().writes, (n + B - 1) / B)
+        << "base + 1 must pay more than the single output pass";
+  }
+}
+
+TEST(MergeSortTest, MinimumFanoutLadder) {
+  // M = 8B is the smallest legal memory: m_eff = 2, so every merge round
+  // runs at the minimum fanout d = 2 and 512 elements need a full ladder
+  // of rounds (8 base runs -> 4 -> 2 -> 1).
+  const std::size_t M = 128, B = 16, n = 512;
+  Machine mach(cfg(M, B, 1));
+  ASSERT_EQ(SortBudget::from(mach).fanout, 2u);
+  util::Rng rng(703);
+  auto keys = util::random_keys(n, rng);
+  auto in = stage(mach, keys);
+  ExtArray<std::uint64_t> out(mach, n, "out");
+  aem_merge_sort(in, out);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(out.unsafe_host_view(), expect);
+  EXPECT_LE(mach.ledger().high_water(), M);
+}
+
 TEST(MergeSortTest, CustomComparatorDescending) {
   Machine mach(cfg(128, 8, 2));
   util::Rng rng(11);

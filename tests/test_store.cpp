@@ -542,7 +542,7 @@ TEST(KvStoreTest, MetricsSectionReflectsStoreState) {
   EXPECT_EQ(snap.store.scans, 1u);
   EXPECT_EQ(snap.store.scan_records, kv.records());
   const std::string j = to_json(snap);
-  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v7\""),
+  EXPECT_NE(j.find("\"schema\":\"aem.machine.metrics/v8\""),
             std::string::npos);
   EXPECT_NE(j.find("\"store\":{\"enabled\":true,\"index\":\"compact\""),
             std::string::npos);

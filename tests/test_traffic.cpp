@@ -81,6 +81,35 @@ TEST(QHistogramTest, CoarseBucketsReportPowerOfTwoFloors) {
   EXPECT_EQ(h.percentile(10000), 4096u);  // percentile reports the floor
 }
 
+// The four pinned permyriad boundaries of the percentile contract (see the
+// header comment of traffic/histogram.hpp), including the exact/coarse
+// bucket seam at kExactLimit.
+TEST(QHistogramTest, PercentileBoundariesPinned) {
+  QHistogram empty;
+  // Empty histogram: the documented 0 sentinel for EVERY in-range permyriad
+  // (scripts/run_experiments.sh relies on disabled sections being all-zero).
+  EXPECT_EQ(empty.percentile(0), 0u);
+  EXPECT_EQ(empty.percentile(5000), 0u);
+  EXPECT_EQ(empty.percentile(10000), 0u);
+  // Out of range throws even on an empty histogram.
+  EXPECT_THROW(empty.percentile(10001), std::invalid_argument);
+
+  QHistogram h;
+  h.record(7);
+  h.record(42);
+  h.record(QHistogram::kExactLimit - 1);  // 4095: the last exact bucket
+  h.record(QHistogram::kExactLimit);      // 4096: the first coarse bucket
+  EXPECT_EQ(h.percentile(0), 7u);     // rank clamps to 1: the minimum
+  EXPECT_EQ(h.percentile(2500), 7u);  // nearest rank 1 of 4
+  EXPECT_EQ(h.percentile(7500), QHistogram::kExactLimit - 1);  // rank 3: exact
+  EXPECT_EQ(h.percentile(10000), QHistogram::kExactLimit);  // max's floor
+  EXPECT_EQ(h.max(), QHistogram::kExactLimit);              // max stays exact
+  EXPECT_THROW(h.percentile(10001), std::invalid_argument);
+  // The motivating regression: a per-cent unit slip (9900 * 10) must fail
+  // loudly instead of clamping to a plausible-looking p100.
+  EXPECT_THROW(h.percentile(99000), std::invalid_argument);
+}
+
 TEST(QHistogramTest, MergeIsAssociativeAndMatchesWhole) {
   util::Rng rng(99);
   QHistogram whole, a, b, c;
